@@ -1,0 +1,115 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// Experiment E9 (DESIGN.md): the ablation the paper lists as future work —
+// extended-axis evaluation with the leaf-interval RangeIndex vs. the naive
+// full scan of the literal Definition 1, swept over edition size.
+//
+// Expected shape: the naive scan is linear in the total node count for every
+// axis; the indexed ordering axes (xfollowing/xpreceding) and containment/
+// overlap axes narrow candidates by binary search, winning by a growing
+// factor as documents grow.
+
+#include <benchmark/benchmark.h>
+
+#include "workload/generator.h"
+#include "xpath/axes.h"
+
+namespace {
+
+using mhx::MultihierarchicalDocument;
+using mhx::goddag::NodeId;
+using mhx::xpath::Axis;
+using mhx::xpath::AxisEvaluator;
+using mhx::xpath::AxisOptions;
+
+MultihierarchicalDocument* EditionDoc(size_t words) {
+  static auto* cache = new std::map<size_t, MultihierarchicalDocument*>();
+  auto it = cache->find(words);
+  if (it != cache->end()) return it->second;
+  mhx::workload::EditionConfig config;
+  config.seed = 17;
+  config.word_count = words;
+  config.chars_per_line = 30;
+  config.damage_coverage = 0.12;
+  config.restoration_coverage = 0.15;
+  auto d = mhx::workload::BuildEditionDocument(config);
+  if (!d.ok()) std::abort();
+  auto* doc = new MultihierarchicalDocument(std::move(d).value());
+  (*cache)[words] = doc;
+  return doc;
+}
+
+/// Sample of context nodes: every k-th word element.
+std::vector<NodeId> WordSample(const MultihierarchicalDocument& doc,
+                               size_t max_count) {
+  std::vector<NodeId> words;
+  const auto& kg = doc.goddag();
+  for (NodeId id : kg.hierarchy(1).nodes) {
+    const auto& n = kg.node(id);
+    if (n.kind == mhx::goddag::GNodeKind::kElement && n.name == "w") {
+      words.push_back(id);
+    }
+  }
+  if (words.size() > max_count) {
+    std::vector<NodeId> sampled;
+    size_t step = words.size() / max_count;
+    for (size_t i = 0; i < words.size(); i += step) sampled.push_back(words[i]);
+    return sampled;
+  }
+  return words;
+}
+
+void RunAxis(benchmark::State& state, Axis axis, bool use_index) {
+  MultihierarchicalDocument* doc = EditionDoc(state.range(0));
+  AxisEvaluator axes(&doc->goddag(), AxisOptions{use_index});
+  std::vector<NodeId> contexts = WordSample(*doc, 64);
+  size_t results = 0;
+  for (auto _ : state) {
+    for (NodeId context : contexts) {
+      auto nodes = axes.EvaluateAxisOnly(context, axis);
+      results += nodes.size();
+      benchmark::DoNotOptimize(nodes);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          contexts.size());
+  state.counters["avg_result"] = static_cast<double>(results) /
+                                 (static_cast<double>(state.iterations()) *
+                                  contexts.size());
+  state.SetComplexityN(state.range(0));
+}
+
+#define AXIS_BENCH(name, axis)                                     \
+  void BM_##name##_Naive(benchmark::State& state) {                \
+    RunAxis(state, axis, /*use_index=*/false);                     \
+  }                                                                \
+  BENCHMARK(BM_##name##_Naive)->Arg(100)->Arg(400)->Arg(1600)->Complexity(); \
+  void BM_##name##_Indexed(benchmark::State& state) {              \
+    RunAxis(state, axis, /*use_index=*/true);                      \
+  }                                                                \
+  BENCHMARK(BM_##name##_Indexed)->Arg(100)->Arg(400)->Arg(1600)->Complexity();
+
+AXIS_BENCH(XAncestor, Axis::kXAncestor)
+AXIS_BENCH(XDescendant, Axis::kXDescendant)
+AXIS_BENCH(Overlapping, Axis::kOverlapping)
+AXIS_BENCH(XFollowing, Axis::kXFollowing)
+AXIS_BENCH(XPreceding, Axis::kXPreceding)
+
+#undef AXIS_BENCH
+
+void BM_StandardDescendant(benchmark::State& state) {
+  // Baseline context: a standard tree axis for comparison.
+  MultihierarchicalDocument* doc = EditionDoc(state.range(0));
+  AxisEvaluator axes(&doc->goddag());
+  for (auto _ : state) {
+    auto nodes = axes.EvaluateAxisOnly(doc->goddag().root(),
+                                       Axis::kDescendant);
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StandardDescendant)->Arg(100)->Arg(400)->Arg(1600)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

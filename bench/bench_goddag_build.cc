@@ -1,0 +1,147 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// Experiments E1/E2/E10 (DESIGN.md): KyGODDAG construction cost vs. edition
+// size and number of hierarchies, plus the cost of virtual-hierarchy
+// add/remove cycles (what every analyze-string() call pays).
+
+#include <benchmark/benchmark.h>
+
+#include "goddag/kygoddag.h"
+#include "workload/generator.h"
+#include "workload/paper_data.h"
+#include "xml/parser.h"
+
+namespace {
+
+using mhx::goddag::KyGoddag;
+
+void BM_BuildPaperDocument(benchmark::State& state) {
+  for (auto _ : state) {
+    auto doc = mhx::workload::BuildPaperDocument();
+    if (!doc.ok()) std::abort();
+    benchmark::DoNotOptimize(doc);
+  }
+}
+BENCHMARK(BM_BuildPaperDocument);
+
+void BM_BuildEdition_BySize(benchmark::State& state) {
+  mhx::workload::EditionConfig config;
+  config.seed = 3;
+  config.word_count = state.range(0);
+  mhx::workload::Edition edition = mhx::workload::GenerateEdition(config);
+  size_t bytes = edition.base_text.size();
+  for (auto _ : state) {
+    auto doc = mhx::workload::BuildEditionDocument(config);
+    if (!doc.ok()) std::abort();
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes *
+                          4);  // 4 encodings parsed per build
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildEdition_BySize)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Arg(6400)
+    ->Complexity();
+
+void BM_BuildEdition_ByHierarchyCount(benchmark::State& state) {
+  // 1..4 hierarchies over the same base text.
+  mhx::workload::EditionConfig config;
+  config.seed = 3;
+  config.word_count = 800;
+  mhx::workload::Edition e = mhx::workload::GenerateEdition(config);
+  std::vector<std::pair<std::string, std::string>> all = {
+      {"physical", e.physical_xml},
+      {"structural", e.structural_xml},
+      {"restoration", e.restoration_xml},
+      {"condition", e.condition_xml},
+  };
+  int count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mhx::MultihierarchicalDocument::Builder builder;
+    builder.SetBaseText(e.base_text);
+    for (int i = 0; i < count; ++i) {
+      builder.AddHierarchy(all[i].first, all[i].second);
+    }
+    auto doc = builder.Build();
+    if (!doc.ok()) std::abort();
+    benchmark::DoNotOptimize(doc);
+  }
+}
+BENCHMARK(BM_BuildEdition_ByHierarchyCount)->DenseRange(1, 4);
+
+void BM_VirtualHierarchyCycle(benchmark::State& state) {
+  // Add + remove a virtual hierarchy (the analyze-string() substrate) on an
+  // edition of the given size. arg1 toggles incremental leaf maintenance
+  // (the E10 ablation: patched splice vs. full partition rebuild).
+  mhx::workload::EditionConfig config;
+  config.seed = 5;
+  config.word_count = state.range(0);
+  auto doc = mhx::workload::BuildEditionDocument(config);
+  if (!doc.ok()) std::abort();
+  KyGoddag* kg = doc->mutable_goddag();
+  kg->set_incremental_leaves(state.range(1) != 0);
+  size_t n = kg->base_text().size();
+  for (auto _ : state) {
+    auto h = kg->AddVirtualHierarchy(
+        "rest",
+        {mhx::goddag::VirtualElement{"res", mhx::TextRange(n / 4, n / 2), {}},
+         mhx::goddag::VirtualElement{"m", mhx::TextRange(n / 3, n / 2 - 1),
+                                     {}}});
+    if (!h.ok()) std::abort();
+    benchmark::DoNotOptimize(kg->leaves().size());  // force rebuild
+    if (!kg->RemoveVirtualHierarchy(*h).ok()) std::abort();
+    benchmark::DoNotOptimize(kg->leaves().size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VirtualHierarchyCycle)
+    ->ArgsProduct({{100, 400, 1600, 6400}, {0, 1}})
+    ->Complexity();
+
+void BM_XmlParseOnly(benchmark::State& state) {
+  mhx::workload::EditionConfig config;
+  config.seed = 3;
+  config.word_count = state.range(0);
+  mhx::workload::Edition e = mhx::workload::GenerateEdition(config);
+  for (auto _ : state) {
+    auto doc = mhx::xml::Parse(e.structural_xml);
+    if (!doc.ok()) std::abort();
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          e.structural_xml.size());
+}
+BENCHMARK(BM_XmlParseOnly)->Arg(400)->Arg(6400);
+
+void BM_LeafPartitionRebuild(benchmark::State& state) {
+  // Isolated cost of a full lazy leaf rebuild after a structural change
+  // (incremental maintenance disabled; with it on, the change is a splice —
+  // see BM_VirtualHierarchyCycle's ablation). Each iteration performs one
+  // add + rebuild + remove + rebuild cycle, all timed.
+  mhx::workload::EditionConfig config;
+  config.seed = 5;
+  config.word_count = state.range(0);
+  auto doc = mhx::workload::BuildEditionDocument(config);
+  if (!doc.ok()) std::abort();
+  KyGoddag* kg = doc->mutable_goddag();
+  kg->set_incremental_leaves(false);
+  size_t n = kg->base_text().size();
+  for (auto _ : state) {
+    auto h = kg->AddVirtualHierarchy(
+        "rest",
+        {mhx::goddag::VirtualElement{"res", mhx::TextRange(1, n - 1), {}}});
+    if (!h.ok()) std::abort();
+    benchmark::DoNotOptimize(kg->leaves().size());
+    (void)kg->RemoveVirtualHierarchy(*h);
+    benchmark::DoNotOptimize(kg->leaves().size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LeafPartitionRebuild)->Arg(400)->Arg(1600)->Arg(6400)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();
