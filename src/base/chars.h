@@ -1,0 +1,25 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// Shared XML name-character predicates, so every layer that scans tag names
+// (xml/, regex/ fragment patterns, xquery/ serialisation) accepts the same
+// alphabet.
+
+#ifndef MHX_BASE_CHARS_H_
+#define MHX_BASE_CHARS_H_
+
+#include <cctype>
+
+namespace mhx {
+
+inline bool IsXmlNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+inline bool IsXmlNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+}  // namespace mhx
+
+#endif  // MHX_BASE_CHARS_H_

@@ -1,0 +1,69 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// Minimal absl-style error model. Every fallible operation in mhx:: returns
+// Status (or StatusOr<T>, see base/statusor.h) instead of throwing; benches
+// and callers test `.ok()` and propagate with the macros in
+// base/status_macros.h.
+
+#ifndef MHX_BASE_STATUS_H_
+#define MHX_BASE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mhx {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 3,
+  kNotFound = 5,
+  kOutOfRange = 11,
+  kFailedPrecondition = 9,
+  kUnimplemented = 12,
+  kInternal = 13,
+};
+
+std::string_view StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+}  // namespace mhx
+
+#endif  // MHX_BASE_STATUS_H_

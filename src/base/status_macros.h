@@ -1,0 +1,32 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#ifndef MHX_BASE_STATUS_MACROS_H_
+#define MHX_BASE_STATUS_MACROS_H_
+
+#include <utility>
+
+#include "base/status.h"
+#include "base/statusor.h"
+
+// Propagates a non-OK Status out of the current function.
+#define MHX_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::mhx::Status mhx_status_ = (expr);            \
+    if (!mhx_status_.ok()) return mhx_status_;     \
+  } while (false)
+
+// Evaluates a StatusOr<T> expression; on success moves the value into `lhs`,
+// on error returns the status.
+#define MHX_ASSIGN_OR_RETURN(lhs, expr)                    \
+  MHX_ASSIGN_OR_RETURN_IMPL_(                              \
+      MHX_STATUS_MACROS_CONCAT_(mhx_statusor_, __LINE__), lhs, expr)
+
+#define MHX_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                               \
+  if (!statusor.ok()) return statusor.status();         \
+  lhs = std::move(statusor).value()
+
+#define MHX_STATUS_MACROS_CONCAT_(a, b) MHX_STATUS_MACROS_CONCAT_IMPL_(a, b)
+#define MHX_STATUS_MACROS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // MHX_BASE_STATUS_MACROS_H_

@@ -1,0 +1,80 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#ifndef MHX_BASE_STATUSOR_H_
+#define MHX_BASE_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace mhx {
+
+// A value of type T, or the error explaining why it could not be produced.
+// Accessors that assume a value (`value()`, `operator*`, `operator->`) abort
+// on error status; callers are expected to test `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so callers can `return SomeError(...)` or
+  // `return value;` directly, absl-style.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed from OK status");
+    }
+  }
+  StatusOr(T value)  // NOLINT
+      : value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const {
+    EnsureOk();
+    return &*value_;
+  }
+  T* operator->() {
+    EnsureOk();
+    return &*value_;
+  }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) std::abort();
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mhx
+
+#endif  // MHX_BASE_STATUSOR_H_

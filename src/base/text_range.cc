@@ -1,0 +1,11 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "base/text_range.h"
+
+namespace mhx {
+
+std::string TextRange::ToString() const {
+  return "[" + std::to_string(begin) + ", " + std::to_string(end) + ")";
+}
+
+}  // namespace mhx

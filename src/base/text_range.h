@@ -1,0 +1,76 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// TextRange is the half-open character interval [begin, end) over a
+// document's base text. The KyGODDAG annotates every node with the range it
+// dominates, and the paper's extended XPath axes (xancestor, xdescendant,
+// overlapping, xfollowing, xpreceding) are defined purely in terms of these
+// interval relations, because node ranges are unions of contiguous leaves of
+// the shared partition.
+
+#ifndef MHX_BASE_TEXT_RANGE_H_
+#define MHX_BASE_TEXT_RANGE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace mhx {
+
+struct TextRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  constexpr TextRange() = default;
+  constexpr TextRange(size_t begin_pos, size_t end_pos)
+      : begin(begin_pos), end(end_pos) {}
+
+  constexpr size_t length() const { return end > begin ? end - begin : 0; }
+  constexpr bool empty() const { return end <= begin; }
+
+  // True when this range covers every position of `other` (equal ranges
+  // contain each other).
+  constexpr bool Contains(const TextRange& other) const {
+    return begin <= other.begin && other.end <= end;
+  }
+  constexpr bool Contains(size_t pos) const { return begin <= pos && pos < end; }
+
+  // True when the two ranges share at least one position (an empty range
+  // shares none, even when it sits inside the other).
+  constexpr bool Intersects(const TextRange& other) const {
+    return !empty() && !other.empty() && begin < other.end &&
+           other.begin < end;
+  }
+
+  // True when this range ends at or before the start of `other`.
+  constexpr bool Precedes(const TextRange& other) const {
+    return end <= other.begin;
+  }
+  constexpr bool Follows(const TextRange& other) const {
+    return other.end <= begin;
+  }
+
+  friend constexpr bool operator==(const TextRange& a, const TextRange& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+  friend constexpr bool operator!=(const TextRange& a, const TextRange& b) {
+    return !(a == b);
+  }
+  // Document order: earlier start first; at equal starts the longer range
+  // first (an element precedes its first child when they share a start).
+  friend constexpr bool operator<(const TextRange& a, const TextRange& b) {
+    if (a.begin != b.begin) return a.begin < b.begin;
+    return a.end > b.end;
+  }
+
+  std::string ToString() const;
+};
+
+// The paper's overlap relation: the ranges intersect but neither contains the
+// other. This is what the `overlapping` axis and the fragmentation baseline's
+// conflict test both use — nested or identical ranges do NOT overlap.
+constexpr bool OverlappingRange(const TextRange& a, const TextRange& b) {
+  return a.Intersects(b) && !a.Contains(b) && !b.Contains(a);
+}
+
+}  // namespace mhx
+
+#endif  // MHX_BASE_TEXT_RANGE_H_

@@ -1,0 +1,133 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "baseline/fragmentation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "goddag/index.h"
+
+namespace mhx::baseline {
+
+FragmentationEncoding FragmentationEncoding::Encode(
+    const goddag::KyGoddag& goddag) {
+  FragmentationEncoding enc;
+  enc.base_text_ = goddag.base_text();
+
+  // Collect the logical elements.
+  std::vector<goddag::NodeId> node_of_element;
+  enc.elements_.reserve(goddag.element_count());
+  for (goddag::NodeId id = 0; id < goddag.node_table_size(); ++id) {
+    const goddag::GNode& node = goddag.node(id);
+    if (node.kind != goddag::GNodeKind::kElement) continue;
+    enc.elements_.push_back(ElementInfo{node.name, node.range});
+    node_of_element.push_back(id);
+  }
+
+  // Cut points per element: the endpoints of every element it properly
+  // overlaps, found through the interval index rather than an O(n^2) sweep.
+  goddag::RangeIndex index(&goddag);
+  std::unordered_map<goddag::NodeId, uint32_t> uid_of_node;
+  uid_of_node.reserve(node_of_element.size());
+  for (uint32_t uid = 0; uid < node_of_element.size(); ++uid) {
+    uid_of_node[node_of_element[uid]] = uid;
+  }
+  std::vector<std::vector<size_t>> cuts(enc.elements_.size());
+  for (uint32_t uid = 0; uid < enc.elements_.size(); ++uid) {
+    const TextRange& range = enc.elements_[uid].range;
+    for (goddag::NodeId other : index.NodesOverlapping(range)) {
+      const TextRange& o = goddag.node(other).range;
+      if (range.Contains(o.begin) && o.begin != range.begin) {
+        cuts[uid].push_back(o.begin);
+      }
+      if (range.Contains(o.end) && o.end != range.begin) {
+        cuts[uid].push_back(o.end);
+      }
+    }
+  }
+
+  // Emit fragments, element by element, then sort into document order.
+  for (uint32_t uid = 0; uid < enc.elements_.size(); ++uid) {
+    const TextRange& range = enc.elements_[uid].range;
+    std::vector<size_t>& cut = cuts[uid];
+    std::sort(cut.begin(), cut.end());
+    cut.erase(std::unique(cut.begin(), cut.end()), cut.end());
+    size_t begin = range.begin;
+    for (size_t pos : cut) {
+      enc.fragments_.push_back(Fragment{uid, TextRange(begin, pos)});
+      begin = pos;
+    }
+    enc.fragments_.push_back(Fragment{uid, TextRange(begin, range.end)});
+  }
+  std::sort(enc.fragments_.begin(), enc.fragments_.end(),
+            [](const Fragment& a, const Fragment& b) {
+              if (a.range != b.range) return a.range < b.range;
+              return a.element_uid < b.element_uid;
+            });
+  return enc;
+}
+
+std::vector<FragmentationEncoding::ReassembledElement>
+FragmentationEncoding::Reassemble(std::string_view name) const {
+  // Scan the whole fragment table in document order, stitching fragments of
+  // matching elements back together. The scan is deliberately global — under
+  // a fused encoding there is no per-element index to shortcut it.
+  std::vector<ReassembledElement> out;
+  std::unordered_map<uint32_t, size_t> slot_of_uid;
+  for (const Fragment& fragment : fragments_) {
+    const ElementInfo& element = elements_[fragment.element_uid];
+    if (element.name != name) continue;
+    auto [it, inserted] = slot_of_uid.try_emplace(fragment.element_uid,
+                                                  out.size());
+    if (inserted) {
+      out.push_back(ReassembledElement{element.name, fragment.range, {}});
+    }
+    ReassembledElement& r = out[it->second];
+    r.range.begin = std::min(r.range.begin, fragment.range.begin);
+    r.range.end = std::max(r.range.end, fragment.range.end);
+    r.text.append(base_text_, fragment.range.begin, fragment.range.length());
+  }
+  return out;
+}
+
+size_t FragmentationEncoding::CountOverlapping(std::string_view a_name,
+                                               std::string_view b_name) const {
+  std::vector<ReassembledElement> as = Reassemble(a_name);
+  std::vector<ReassembledElement> bs = Reassemble(b_name);
+  size_t pairs = 0;
+  for (const ReassembledElement& a : as) {
+    for (const ReassembledElement& b : bs) {
+      if (OverlappingRange(a.range, b.range)) ++pairs;
+    }
+  }
+  return pairs;
+}
+
+size_t FragmentationEncoding::CountContaining(std::string_view a_name,
+                                              std::string_view b_name) const {
+  std::vector<ReassembledElement> as = Reassemble(a_name);
+  std::vector<ReassembledElement> bs = Reassemble(b_name);
+  size_t count = 0;
+  for (const ReassembledElement& a : as) {
+    for (const ReassembledElement& b : bs) {
+      if (a.range.Contains(b.range)) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<FragmentationEncoding::ReassembledElement>
+FragmentationEncoding::FindByString(std::string_view name,
+                                    std::string_view text) const {
+  std::vector<ReassembledElement> all = Reassemble(name);
+  std::vector<ReassembledElement> hits;
+  for (ReassembledElement& element : all) {
+    if (element.text == text) hits.push_back(std::move(element));
+  }
+  return hits;
+}
+
+}  // namespace mhx::baseline

@@ -1,0 +1,82 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// The single-document fragmentation encoding the paper compares against
+// (the authors' earlier DEXA'05 approach): all hierarchies are forced into
+// ONE tree by splitting every element at the boundaries of elements it
+// properly overlaps. The fragments of any one element tile its original
+// range, and the resulting fragment family is laminar (any two fragments
+// nest or are disjoint), so it serialises as a single well-formed document.
+//
+// The price is paid at query time: any whole-element question — overlap
+// joins, containment filters, even comparing an element's string value —
+// must first reassemble fragments back into logical elements. The E8
+// benchmarks (bench_vs_fragmentation.cc) measure exactly that gap against
+// KyGODDAG extended axes, with fragment count growing as overlap density
+// rises.
+
+#ifndef MHX_BASELINE_FRAGMENTATION_H_
+#define MHX_BASELINE_FRAGMENTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/text_range.h"
+#include "goddag/kygoddag.h"
+
+namespace mhx::baseline {
+
+class FragmentationEncoding {
+ public:
+  // One logical element rebuilt from its fragments.
+  struct ReassembledElement {
+    std::string name;
+    TextRange range;
+    std::string text;
+  };
+
+  // Fragments every live element of `goddag` (hierarchy roots included; they
+  // span the whole text and conflict with nothing).
+  static FragmentationEncoding Encode(const goddag::KyGoddag& goddag);
+
+  // Total number of fragments in the encoding; equals the number of logical
+  // elements only when no hierarchies conflict.
+  size_t fragment_count() const { return fragments_.size(); }
+  size_t element_count() const { return elements_.size(); }
+
+  // Scans the fragment table in document order and reassembles every logical
+  // element with the given name — the mandatory first step of any
+  // whole-element query under this encoding.
+  std::vector<ReassembledElement> Reassemble(std::string_view name) const;
+
+  // Number of (a, b) element pairs whose ranges properly overlap.
+  size_t CountOverlapping(std::string_view a_name,
+                          std::string_view b_name) const;
+
+  // Number of a-elements whose range contains at least one b-element.
+  size_t CountContaining(std::string_view a_name,
+                         std::string_view b_name) const;
+
+  // The a-elements whose reassembled text equals `text`.
+  std::vector<ReassembledElement> FindByString(std::string_view name,
+                                               std::string_view text) const;
+
+ private:
+  struct ElementInfo {
+    std::string name;
+    TextRange range;
+  };
+  struct Fragment {
+    uint32_t element_uid;  // index into elements_
+    TextRange range;
+  };
+
+  std::string base_text_;
+  std::vector<ElementInfo> elements_;
+  std::vector<Fragment> fragments_;  // document order
+};
+
+}  // namespace mhx::baseline
+
+#endif  // MHX_BASELINE_FRAGMENTATION_H_

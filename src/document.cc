@@ -1,0 +1,61 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "document.h"
+
+#include "base/status_macros.h"
+#include "xml/parser.h"
+
+namespace mhx {
+
+MultihierarchicalDocument::Builder& MultihierarchicalDocument::Builder::
+    SetBaseText(std::string text) {
+  base_text_ = std::move(text);
+  base_text_set_ = true;
+  return *this;
+}
+
+MultihierarchicalDocument::Builder& MultihierarchicalDocument::Builder::
+    AddHierarchy(std::string name, std::string xml) {
+  hierarchies_.emplace_back(std::move(name), std::move(xml));
+  return *this;
+}
+
+StatusOr<MultihierarchicalDocument> MultihierarchicalDocument::Builder::
+    Build() {
+  if (!base_text_set_) {
+    return FailedPreconditionError("SetBaseText was never called");
+  }
+  for (size_t i = 0; i < hierarchies_.size(); ++i) {
+    for (size_t j = i + 1; j < hierarchies_.size(); ++j) {
+      if (hierarchies_[i].first == hierarchies_[j].first) {
+        return InvalidArgumentError("duplicate hierarchy name '" +
+                                    hierarchies_[i].first + "'");
+      }
+    }
+  }
+  auto goddag = std::make_unique<goddag::KyGoddag>(base_text_);
+  for (const auto& [name, xml_source] : hierarchies_) {
+    auto parsed = xml::Parse(xml_source);
+    if (!parsed.ok()) {
+      return Status(parsed.status().code(),
+                    "hierarchy '" + name + "': " + parsed.status().message());
+    }
+    auto hid = goddag->AddHierarchy(name, *parsed);
+    if (!hid.ok()) return hid.status();
+  }
+  return MultihierarchicalDocument(std::move(goddag));
+}
+
+StatusOr<std::string> MultihierarchicalDocument::Query(
+    std::string_view query) const {
+  return engine()->Evaluate(query);
+}
+
+xquery::Engine* MultihierarchicalDocument::engine() const {
+  if (engine_ == nullptr) {
+    engine_ = std::make_unique<xquery::Engine>(this);
+  }
+  return engine_.get();
+}
+
+}  // namespace mhx

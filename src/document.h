@@ -1,0 +1,99 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// MultihierarchicalDocument is the top-level facade of the mhx:: library:
+// one base text plus any number of concurrent markup hierarchies, each given
+// as an ordinary well-formed XML encoding of that text, merged into a single
+// KyGODDAG. Layering (see DESIGN.md):
+//
+//   base/     Status, StatusOr, TextRange
+//   xml/      range-annotating well-formed-XML parser
+//   goddag/   KyGoddag core + RangeIndex interval lookups
+//   xpath/    standard + extended (overlap-aware) axis evaluation
+//   xquery/   query engine (declared; next PR)
+//   regex/    matches()/analyze-string() substrate (declared; next PR)
+//
+// Typical use:
+//
+//   mhx::MultihierarchicalDocument::Builder builder;
+//   builder.SetBaseText(text);
+//   builder.AddHierarchy("physical", physical_xml);
+//   builder.AddHierarchy("structural", structural_xml);
+//   auto doc = builder.Build();
+//   if (!doc.ok()) { ... }
+//   mhx::xpath::AxisEvaluator axes(&doc->goddag());
+
+#ifndef MHX_DOCUMENT_H_
+#define MHX_DOCUMENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/statusor.h"
+#include "goddag/kygoddag.h"
+#include "xquery/engine.h"
+
+namespace mhx {
+
+class MultihierarchicalDocument {
+ public:
+  class Builder {
+   public:
+    Builder& SetBaseText(std::string text);
+    // Queues an XML encoding of the base text; hierarchies receive ids
+    // 0, 1, ... in AddHierarchy call order.
+    Builder& AddHierarchy(std::string name, std::string xml);
+    // Parses and merges all hierarchies. Fails if the base text was never
+    // set, any XML is malformed, any hierarchy's character content differs
+    // from the base text, or two hierarchies share a name.
+    StatusOr<MultihierarchicalDocument> Build();
+
+   private:
+    std::string base_text_;
+    bool base_text_set_ = false;
+    std::vector<std::pair<std::string, std::string>> hierarchies_;
+  };
+
+  MultihierarchicalDocument(const MultihierarchicalDocument&) = delete;
+  MultihierarchicalDocument& operator=(const MultihierarchicalDocument&) =
+      delete;
+  // Moves re-point the engine's back-reference so an engine created before
+  // the move keeps working afterwards.
+  MultihierarchicalDocument(MultihierarchicalDocument&& other) noexcept
+      : goddag_(std::move(other.goddag_)), engine_(std::move(other.engine_)) {
+    if (engine_ != nullptr) engine_->Rebind(this);
+  }
+  MultihierarchicalDocument& operator=(
+      MultihierarchicalDocument&& other) noexcept {
+    goddag_ = std::move(other.goddag_);
+    engine_ = std::move(other.engine_);
+    if (engine_ != nullptr) engine_->Rebind(this);
+    return *this;
+  }
+
+  const goddag::KyGoddag& goddag() const { return *goddag_; }
+  goddag::KyGoddag* mutable_goddag() { return goddag_.get(); }
+  const std::string& base_text() const { return goddag_->base_text(); }
+
+  // Evaluates an XQuery expression and serialises the result. Currently
+  // returns Unimplemented — the engine is the next PR's tentpole.
+  StatusOr<std::string> Query(std::string_view query) const;
+
+  // The query engine bound to this document (created lazily).
+  xquery::Engine* engine() const;
+
+ private:
+  explicit MultihierarchicalDocument(std::unique_ptr<goddag::KyGoddag> g)
+      : goddag_(std::move(g)) {}
+
+  // KyGoddag and Engine live behind pointers so moving the document does not
+  // invalidate &goddag() or engine() held by evaluators and benchmarks.
+  std::unique_ptr<goddag::KyGoddag> goddag_;
+  mutable std::unique_ptr<xquery::Engine> engine_;
+};
+
+}  // namespace mhx
+
+#endif  // MHX_DOCUMENT_H_

@@ -1,0 +1,157 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "goddag/index.h"
+
+#include <algorithm>
+
+namespace mhx::goddag {
+
+RangeIndex::RangeIndex(const KyGoddag* goddag) : revision_(goddag->revision()) {
+  by_begin_.reserve(goddag->element_count());
+  for (NodeId id = 0; id < goddag->node_table_size(); ++id) {
+    const GNode& node = goddag->node(id);
+    if (node.kind != GNodeKind::kElement) continue;
+    by_begin_.push_back(Entry{node.range, id});
+  }
+  std::sort(by_begin_.begin(), by_begin_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.range.begin != b.range.begin)
+                return a.range.begin < b.range.begin;
+              if (a.range.end != b.range.end) return a.range.end < b.range.end;
+              return a.id < b.id;
+            });
+  by_end_ = by_begin_;
+  std::sort(by_end_.begin(), by_end_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.range.end != b.range.end) return a.range.end < b.range.end;
+              if (a.range.begin != b.range.begin)
+                return a.range.begin < b.range.begin;
+              return a.id < b.id;
+            });
+  if (!by_begin_.empty()) {
+    max_end_.assign(4 * by_begin_.size(), 0);
+    BuildMaxEndTree(1, 0, by_begin_.size());
+  }
+}
+
+void RangeIndex::BuildMaxEndTree(size_t tree_node, size_t lo, size_t hi) {
+  if (hi - lo == 1) {
+    max_end_[tree_node] = by_begin_[lo].range.end;
+    return;
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  BuildMaxEndTree(2 * tree_node, lo, mid);
+  BuildMaxEndTree(2 * tree_node + 1, mid, hi);
+  max_end_[tree_node] =
+      std::max(max_end_[2 * tree_node], max_end_[2 * tree_node + 1]);
+}
+
+void RangeIndex::CollectIntersecting(size_t tree_node, size_t lo, size_t hi,
+                                     const TextRange& range,
+                                     std::vector<NodeId>* out) const {
+  // Prune: nothing in the segment ends after range.begin, or everything in
+  // the segment begins at/after range.end (begins are sorted, so the
+  // leftmost is the minimum).
+  if (max_end_[tree_node] <= range.begin) return;
+  if (by_begin_[lo].range.begin >= range.end) return;
+  if (hi - lo == 1) {
+    if (by_begin_[lo].range.Intersects(range)) out->push_back(by_begin_[lo].id);
+    return;
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  CollectIntersecting(2 * tree_node, lo, mid, range, out);
+  CollectIntersecting(2 * tree_node + 1, mid, hi, range, out);
+}
+
+void RangeIndex::CollectContaining(size_t tree_node, size_t lo, size_t hi,
+                                   const TextRange& range,
+                                   std::vector<NodeId>* out) const {
+  // A container must begin at or before range.begin and end at or after
+  // range.end.
+  if (max_end_[tree_node] < range.end) return;
+  if (by_begin_[lo].range.begin > range.begin) return;
+  if (hi - lo == 1) {
+    if (by_begin_[lo].range.Contains(range)) out->push_back(by_begin_[lo].id);
+    return;
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  CollectContaining(2 * tree_node, lo, mid, range, out);
+  CollectContaining(2 * tree_node + 1, mid, hi, range, out);
+}
+
+void RangeIndex::CollectOverlapping(size_t tree_node, size_t lo, size_t hi,
+                                    const TextRange& range,
+                                    std::vector<NodeId>* out) const {
+  // Same pruning as the intersect pass; the proper-overlap refinement is
+  // applied per entry.
+  if (max_end_[tree_node] <= range.begin) return;
+  if (by_begin_[lo].range.begin >= range.end) return;
+  if (hi - lo == 1) {
+    if (OverlappingRange(by_begin_[lo].range, range)) {
+      out->push_back(by_begin_[lo].id);
+    }
+    return;
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  CollectOverlapping(2 * tree_node, lo, mid, range, out);
+  CollectOverlapping(2 * tree_node + 1, mid, hi, range, out);
+}
+
+std::vector<NodeId> RangeIndex::NodesIntersecting(const TextRange& range) const {
+  std::vector<NodeId> out;
+  if (!by_begin_.empty() && !range.empty()) {
+    CollectIntersecting(1, 0, by_begin_.size(), range, &out);
+  }
+  return out;
+}
+
+std::vector<NodeId> RangeIndex::NodesOverlapping(const TextRange& range) const {
+  std::vector<NodeId> out;
+  if (!by_begin_.empty() && !range.empty()) {
+    CollectOverlapping(1, 0, by_begin_.size(), range, &out);
+  }
+  return out;
+}
+
+std::vector<NodeId> RangeIndex::NodesContaining(const TextRange& range) const {
+  std::vector<NodeId> out;
+  if (!by_begin_.empty()) {
+    CollectContaining(1, 0, by_begin_.size(), range, &out);
+  }
+  return out;
+}
+
+std::vector<NodeId> RangeIndex::NodesContainedIn(const TextRange& range) const {
+  std::vector<NodeId> out;
+  // Candidates begin within [range.begin, range.end]; filter by end.
+  auto first = std::lower_bound(
+      by_begin_.begin(), by_begin_.end(), range.begin,
+      [](const Entry& e, size_t pos) { return e.range.begin < pos; });
+  for (auto it = first; it != by_begin_.end() && it->range.begin <= range.end;
+       ++it) {
+    if (it->range.end <= range.end) out.push_back(it->id);
+  }
+  return out;
+}
+
+std::vector<NodeId> RangeIndex::NodesBeginningAtOrAfter(size_t pos) const {
+  auto first = std::lower_bound(
+      by_begin_.begin(), by_begin_.end(), pos,
+      [](const Entry& e, size_t p) { return e.range.begin < p; });
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(by_begin_.end() - first));
+  for (auto it = first; it != by_begin_.end(); ++it) out.push_back(it->id);
+  return out;
+}
+
+std::vector<NodeId> RangeIndex::NodesEndingAtOrBefore(size_t pos) const {
+  auto last = std::upper_bound(
+      by_end_.begin(), by_end_.end(), pos,
+      [](size_t p, const Entry& e) { return p < e.range.end; });
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(last - by_end_.begin()));
+  for (auto it = by_end_.begin(); it != last; ++it) out.push_back(it->id);
+  return out;
+}
+
+}  // namespace mhx::goddag

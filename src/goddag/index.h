@@ -1,0 +1,84 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// RangeIndex is a static interval index over every live element node of a
+// KyGoddag at construction time: the bulk lookup primitive behind the
+// indexed evaluation mode of the extended axes (xpath/axes.h) and behind
+// whole-document joins such as the word x line overlap join of the
+// fragmentation comparison.
+//
+// Internally it keeps the elements sorted by range start with a segment tree
+// of maximum range ends (an array-backed interval tree), plus a second
+// ordering by range end. Stabbing-style queries (intersect / contain) run in
+// O(log n + k); the order queries (begin-at-or-after / end-at-or-before) are
+// a binary search plus a suffix/prefix copy.
+//
+// The index is a snapshot: it does not observe later mutations of the
+// KyGoddag. Callers that mutate (e.g. virtual hierarchies) should compare
+// KyGoddag::revision() and rebuild, as AxisEvaluator does.
+
+#ifndef MHX_GODDAG_INDEX_H_
+#define MHX_GODDAG_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "base/text_range.h"
+#include "goddag/kygoddag.h"
+
+namespace mhx::goddag {
+
+class RangeIndex {
+ public:
+  explicit RangeIndex(const KyGoddag* goddag);
+
+  // Nodes whose range properly overlaps `range` (intersects, neither
+  // contains the other) — the `overlapping` axis predicate.
+  std::vector<NodeId> NodesOverlapping(const TextRange& range) const;
+
+  // Nodes whose range shares at least one position with `range`.
+  std::vector<NodeId> NodesIntersecting(const TextRange& range) const;
+
+  // Nodes whose range contains `range` (equal ranges included).
+  std::vector<NodeId> NodesContaining(const TextRange& range) const;
+
+  // Nodes whose range is contained in `range` (equal ranges included).
+  std::vector<NodeId> NodesContainedIn(const TextRange& range) const;
+
+  // Nodes whose range begins at or after `pos` (the xfollowing predicate).
+  std::vector<NodeId> NodesBeginningAtOrAfter(size_t pos) const;
+
+  // Nodes whose range ends at or before `pos` (the xpreceding predicate).
+  std::vector<NodeId> NodesEndingAtOrBefore(size_t pos) const;
+
+  // Number of indexed element nodes.
+  size_t size() const { return by_begin_.size(); }
+
+  // Revision of the KyGoddag this index was built from.
+  uint64_t revision() const { return revision_; }
+
+ private:
+  struct Entry {
+    TextRange range;
+    NodeId id;
+  };
+
+  void BuildMaxEndTree(size_t tree_node, size_t lo, size_t hi);
+  void CollectIntersecting(size_t tree_node, size_t lo, size_t hi,
+                           const TextRange& range,
+                           std::vector<NodeId>* out) const;
+  void CollectContaining(size_t tree_node, size_t lo, size_t hi,
+                         const TextRange& range,
+                         std::vector<NodeId>* out) const;
+  void CollectOverlapping(size_t tree_node, size_t lo, size_t hi,
+                          const TextRange& range,
+                          std::vector<NodeId>* out) const;
+
+  std::vector<Entry> by_begin_;   // sorted by (begin asc, end asc, id)
+  std::vector<Entry> by_end_;     // sorted by (end asc, begin asc, id)
+  std::vector<size_t> max_end_;   // segment tree over by_begin_
+  uint64_t revision_ = 0;
+};
+
+}  // namespace mhx::goddag
+
+#endif  // MHX_GODDAG_INDEX_H_

@@ -1,0 +1,311 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "goddag/kygoddag.h"
+
+#include <algorithm>
+
+namespace mhx::goddag {
+
+KyGoddag::KyGoddag(std::string base_text) : base_text_(std::move(base_text)) {
+  GNode root;
+  root.kind = GNodeKind::kRoot;
+  root.range = TextRange(0, base_text_.size());
+  nodes_.push_back(std::move(root));
+}
+
+NodeId KyGoddag::AllocateNode() {
+  if (!free_nodes_.empty()) {
+    NodeId id = free_nodes_.back();
+    free_nodes_.pop_back();
+    return id;
+  }
+  nodes_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void KyGoddag::FreeNode(NodeId id) {
+  GNode& n = nodes_[id];
+  n.kind = GNodeKind::kFree;
+  n.name.clear();
+  n.attributes.clear();
+  n.children.clear();
+  n.parent = kInvalidNode;
+  n.range = TextRange();
+  free_nodes_.push_back(id);
+}
+
+HierarchyId KyGoddag::AllocateHierarchySlot() {
+  if (!free_hierarchies_.empty()) {
+    HierarchyId id = free_hierarchies_.back();
+    free_hierarchies_.pop_back();
+    return id;
+  }
+  hierarchies_.emplace_back();
+  return static_cast<HierarchyId>(hierarchies_.size() - 1);
+}
+
+NodeId KyGoddag::ConvertXmlElement(const xml::Element& element,
+                                   HierarchyId hierarchy, NodeId parent,
+                                   Hierarchy* out) {
+  // Recursion depth is bounded by the parser's kMaxElementDepth.
+  NodeId id = AllocateNode();
+  GNode& n = nodes_[id];
+  n.kind = GNodeKind::kElement;
+  n.hierarchy = hierarchy;
+  n.name = element.name;
+  n.attributes = element.attributes;
+  n.range = element.range;
+  n.parent = parent;
+  out->nodes.push_back(id);
+  NoteElementAdded(element.range);
+  for (const xml::Element& child : element.children) {
+    NodeId child_id = ConvertXmlElement(child, hierarchy, id, out);
+    // Re-fetch: the nodes_ vector may have been reallocated by the recursion.
+    nodes_[id].children.push_back(child_id);
+  }
+  return id;
+}
+
+StatusOr<HierarchyId> KyGoddag::AddHierarchy(const std::string& name,
+                                             const xml::Document& doc) {
+  if (doc.text != base_text_) {
+    std::string detail;
+    if (doc.text.size() != base_text_.size()) {
+      detail = "content length " + std::to_string(doc.text.size()) +
+               " vs base " + std::to_string(base_text_.size());
+    } else {
+      size_t diff = 0;
+      while (diff < doc.text.size() && doc.text[diff] == base_text_[diff]) {
+        ++diff;
+      }
+      detail = "first difference at offset " + std::to_string(diff) + " ('" +
+               doc.text.substr(diff, 8) + "' vs '" +
+               base_text_.substr(diff, 8) + "')";
+    }
+    return InvalidArgumentError("hierarchy '" + name +
+                                "' does not encode the base text (" + detail +
+                                ")");
+  }
+  HierarchyId hid = AllocateHierarchySlot();
+  Hierarchy& h = hierarchies_[hid];
+  h = Hierarchy();
+  h.name = name;
+  h.is_virtual = false;
+  h.active = true;
+  NodeId root_id = ConvertXmlElement(doc.root, hid, /*parent=*/0, &h);
+  h.root = root_id;
+  nodes_[0].children.push_back(root_id);
+  ++revision_;
+  return hid;
+}
+
+StatusOr<HierarchyId> KyGoddag::AddVirtualHierarchy(
+    const std::string& name, std::vector<VirtualElement> elements) {
+  const size_t n = base_text_.size();
+  for (const VirtualElement& e : elements) {
+    if (e.range.empty()) {
+      return InvalidArgumentError("virtual element '" + e.name +
+                                  "' has an empty range " +
+                                  e.range.ToString());
+    }
+    if (e.range.end > n) {
+      return OutOfRangeError("virtual element '" + e.name + "' range " +
+                             e.range.ToString() + " exceeds base text size " +
+                             std::to_string(n));
+    }
+  }
+  // Document order; with this ordering a containing element always comes
+  // before the elements it contains, so a single stack pass both validates
+  // nesting and builds the tree (overlap detection happens during the pass:
+  // a popped element that still reaches into the next one is a conflict).
+  std::sort(elements.begin(), elements.end(),
+            [](const VirtualElement& a, const VirtualElement& b) {
+              return a.range < b.range;
+            });
+  {
+    std::vector<const VirtualElement*> stack;
+    for (const VirtualElement& e : elements) {
+      const VirtualElement* last_popped = nullptr;
+      while (!stack.empty() && !stack.back()->range.Contains(e.range)) {
+        last_popped = stack.back();
+        stack.pop_back();
+      }
+      // Sorted order guarantees last_popped->range.begin <= e.range.begin and
+      // rules out e containing last_popped, so reaching into e means proper
+      // overlap.
+      if (last_popped != nullptr && last_popped->range.end > e.range.begin) {
+        return InvalidArgumentError(
+            "virtual elements '" + last_popped->name + "' " +
+            last_popped->range.ToString() + " and '" + e.name + "' " +
+            e.range.ToString() + " overlap within one hierarchy");
+      }
+      stack.push_back(&e);
+    }
+  }
+
+  HierarchyId hid = AllocateHierarchySlot();
+  Hierarchy& h = hierarchies_[hid];
+  h = Hierarchy();
+  h.name = name;
+  h.is_virtual = true;
+  h.active = true;
+
+  NodeId root_id = AllocateNode();
+  {
+    GNode& root = nodes_[root_id];
+    root.kind = GNodeKind::kElement;
+    root.hierarchy = hid;
+    root.name = name;
+    root.range = TextRange(0, n);
+    root.parent = 0;
+  }
+  h.root = root_id;
+  h.nodes.push_back(root_id);
+  NoteElementAdded(nodes_[root_id].range);
+
+  std::vector<NodeId> stack = {root_id};
+  for (VirtualElement& e : elements) {
+    while (stack.size() > 1 && !nodes_[stack.back()].range.Contains(e.range)) {
+      stack.pop_back();
+    }
+    NodeId id = AllocateNode();
+    GNode& node = nodes_[id];
+    node.kind = GNodeKind::kElement;
+    node.hierarchy = hid;
+    node.name = std::move(e.name);
+    node.attributes = std::move(e.attributes);
+    node.range = e.range;
+    node.parent = stack.back();
+    nodes_[stack.back()].children.push_back(id);
+    h.nodes.push_back(id);
+    NoteElementAdded(node.range);
+    stack.push_back(id);
+  }
+
+  nodes_[0].children.push_back(root_id);
+  ++revision_;
+  return hid;
+}
+
+Status KyGoddag::RemoveVirtualHierarchy(HierarchyId id) {
+  if (id >= hierarchies_.size() || !hierarchies_[id].active) {
+    return NotFoundError("no active hierarchy " + std::to_string(id));
+  }
+  Hierarchy& h = hierarchies_[id];
+  if (!h.is_virtual) {
+    return FailedPreconditionError("hierarchy '" + h.name +
+                                   "' is persistent and cannot be removed");
+  }
+  for (NodeId node_id : h.nodes) {
+    NoteElementRemoved(nodes_[node_id].range);
+    FreeNode(node_id);
+  }
+  auto& root_children = nodes_[0].children;
+  root_children.erase(
+      std::remove(root_children.begin(), root_children.end(), h.root),
+      root_children.end());
+  h = Hierarchy();
+  free_hierarchies_.push_back(id);
+  ++revision_;
+  return OkStatus();
+}
+
+void KyGoddag::set_incremental_leaves(bool incremental) {
+  if (incremental_leaves_ == incremental) return;
+  incremental_leaves_ = incremental;
+  // The refcount map is only maintained while incremental and clean; resync
+  // on the next leaves() call.
+  leaves_dirty_ = true;
+}
+
+void KyGoddag::NoteElementAdded(const TextRange& range) {
+  ++element_count_;
+  NoteBoundaryAdded(range.begin);
+  NoteBoundaryAdded(range.end);
+}
+
+void KyGoddag::NoteElementRemoved(const TextRange& range) {
+  --element_count_;
+  NoteBoundaryRemoved(range.begin);
+  NoteBoundaryRemoved(range.end);
+}
+
+void KyGoddag::NoteBoundaryAdded(size_t pos) {
+  if (base_text_.empty()) return;  // the partition is empty either way
+  if (!incremental_leaves_ || leaves_dirty_) {
+    leaves_dirty_ = true;
+    return;
+  }
+  if (++boundary_refs_[pos] != 1) return;
+  // New boundary: split the leaf that strictly contains `pos`. (pos cannot
+  // be 0 or n — those carry permanent sentinel refs.)
+  auto it = std::upper_bound(leaves_.begin(), leaves_.end(), pos,
+                             [](size_t p, const Leaf& leaf) {
+                               return p < leaf.range.end;
+                             });
+  // it -> the leaf whose end is the first > pos, i.e. the leaf containing pos.
+  size_t leaf_end = it->range.end;
+  it->range.end = pos;
+  leaves_.insert(it + 1, Leaf{TextRange(pos, leaf_end)});
+}
+
+void KyGoddag::NoteBoundaryRemoved(size_t pos) {
+  if (base_text_.empty()) return;
+  if (!incremental_leaves_ || leaves_dirty_) {
+    leaves_dirty_ = true;
+    return;
+  }
+  auto ref = boundary_refs_.find(pos);
+  if (ref == boundary_refs_.end()) {  // invariant breach; fall back to rebuild
+    leaves_dirty_ = true;
+    return;
+  }
+  if (--ref->second != 0) return;
+  boundary_refs_.erase(ref);
+  // Merge the leaf ending at `pos` with its successor.
+  auto it = std::lower_bound(leaves_.begin(), leaves_.end(), pos,
+                             [](const Leaf& leaf, size_t p) {
+                               return leaf.range.end < p;
+                             });
+  // it -> the leaf with range.end == pos.
+  (it + 1)->range.begin = it->range.begin;
+  leaves_.erase(it);
+}
+
+void KyGoddag::RebuildLeaves() const {
+  boundary_refs_.clear();
+  leaves_.clear();
+  const size_t n = base_text_.size();
+  if (n == 0) {
+    leaves_dirty_ = false;
+    return;
+  }
+  // Permanent sentinel refs keep 0 and n from ever being removed.
+  boundary_refs_[0] = 1;
+  boundary_refs_[n] = 1;
+  for (const GNode& node : nodes_) {
+    if (node.kind != GNodeKind::kElement) continue;
+    ++boundary_refs_[node.range.begin];
+    ++boundary_refs_[node.range.end];
+  }
+  leaves_.reserve(boundary_refs_.size() - 1);
+  auto it = boundary_refs_.begin();
+  size_t prev = it->first;
+  for (++it; it != boundary_refs_.end(); ++it) {
+    leaves_.push_back(Leaf{TextRange(prev, it->first)});
+    prev = it->first;
+  }
+  leaves_dirty_ = false;
+}
+
+const std::vector<Leaf>& KyGoddag::leaves() const {
+  if (leaves_dirty_) RebuildLeaves();
+  return leaves_;
+}
+
+std::string KyGoddag::NodeString(NodeId id) const {
+  const TextRange& r = nodes_[id].range;
+  return base_text_.substr(r.begin, r.length());
+}
+
+}  // namespace mhx::goddag

@@ -1,0 +1,79 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "regex/fragment_pattern.h"
+
+#include "base/chars.h"
+
+namespace mhx::regex {
+
+StatusOr<FragmentPattern> TranslateFragmentPattern(std::string_view pattern) {
+  FragmentPattern out;
+  std::vector<std::string> open_stack;
+  size_t i = 0;
+  while (i < pattern.size()) {
+    char c = pattern[i];
+    if (c == '\\' && i + 1 < pattern.size()) {
+      // Escapes pass through untouched (including \< and \>).
+      out.regex.push_back(pattern[i]);
+      out.regex.push_back(pattern[i + 1]);
+      i += 2;
+      continue;
+    }
+    if (c != '<') {
+      out.regex.push_back(c);
+      ++i;
+      continue;
+    }
+    // Markup: <name> or </name>.
+    bool closing = i + 1 < pattern.size() && pattern[i + 1] == '/';
+    size_t name_begin = i + (closing ? 2 : 1);
+    size_t name_end = name_begin;
+    while (name_end < pattern.size() && IsXmlNameChar(pattern[name_end])) {
+      ++name_end;
+    }
+    if (name_end == name_begin || name_end >= pattern.size() ||
+        pattern[name_end] != '>') {
+      return InvalidArgumentError(
+          "malformed fragment markup at offset " + std::to_string(i) +
+          " in pattern '" + std::string(pattern) + "'");
+    }
+    std::string name(pattern.substr(name_begin, name_end - name_begin));
+    if (closing) {
+      if (open_stack.empty() || open_stack.back() != name) {
+        return InvalidArgumentError("mismatched closing tag </" + name +
+                                    "> in pattern '" + std::string(pattern) +
+                                    "'");
+      }
+      open_stack.pop_back();
+      out.regex.push_back(')');
+    } else {
+      open_stack.push_back(name);
+      out.group_names.push_back(name);
+      out.regex.push_back('(');
+    }
+    i = name_end + 1;
+  }
+  if (!open_stack.empty()) {
+    return InvalidArgumentError("unclosed fragment tag <" + open_stack.back() +
+                                "> in pattern '" + std::string(pattern) + "'");
+  }
+  return out;
+}
+
+std::string StripContextWildcards(std::string_view pattern) {
+  if (pattern.size() >= 2 && pattern.substr(0, 2) == ".*") {
+    pattern.remove_prefix(2);
+  }
+  if (pattern.size() >= 2 && pattern.substr(pattern.size() - 2) == ".*") {
+    // Do not strip an escaped ".\*" or a quantified ". *"; a preceding
+    // backslash means the '.' is literal only when it escapes the dot, but
+    // "\.*" ends with an escaped dot + star, which is not a context
+    // wildcard.
+    if (pattern.size() < 3 || pattern[pattern.size() - 3] != '\\') {
+      pattern.remove_suffix(2);
+    }
+  }
+  return std::string(pattern);
+}
+
+}  // namespace mhx::regex

@@ -1,0 +1,46 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// The paper's analyze-string() takes *fragment patterns*: regular
+// expressions interleaved with XML markup, e.g. ".*un<a>a</a>we.*". The
+// markup does not match text — it names the sub-fragments to materialise as
+// a virtual hierarchy over each match. TranslateFragmentPattern splits the
+// two concerns: it validates the embedded markup, strips it, and records
+// each element as a capture group of the residual plain regex, so
+//
+//   ".*un<a>a<b>w</b>e</a>nden<c>dne</c>.*"
+//
+// becomes the regex ".*un(a(w)e)nden(dne).*" with fragment elements
+// a -> group 1, b -> group 2, c -> group 3. The engine then compiles the
+// residual regex and builds <a>/<b>/<c> virtual elements from the group
+// ranges of each match.
+
+#ifndef MHX_REGEX_FRAGMENT_PATTERN_H_
+#define MHX_REGEX_FRAGMENT_PATTERN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/statusor.h"
+
+namespace mhx::regex {
+
+struct FragmentPattern {
+  // The residual regular expression with every fragment element turned into
+  // a capture group.
+  std::string regex;
+  // Element name per capture group, in group-number order (group i + 1).
+  std::vector<std::string> group_names;
+};
+
+// Fails with InvalidArgument on mismatched or malformed markup.
+StatusOr<FragmentPattern> TranslateFragmentPattern(std::string_view pattern);
+
+// Removes a leading and/or trailing ".*" context wildcard, the normalisation
+// analyze-string() applies before fragment translation so context wildcards
+// never become part of a fragment.
+std::string StripContextWildcards(std::string_view pattern);
+
+}  // namespace mhx::regex
+
+#endif  // MHX_REGEX_FRAGMENT_PATTERN_H_

@@ -1,0 +1,21 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "regex/regex.h"
+
+namespace mhx::regex {
+
+StatusOr<Regex> Regex::Compile(std::string_view /*pattern*/) {
+  return UnimplementedError(
+      "the Pike-VM regex engine is not implemented yet; gate callers behind "
+      "MHX_BUILD_ALL_BENCH until it lands");
+}
+
+std::vector<Regex::Match> Regex::FindAll(std::string_view /*text*/) const {
+  return {};
+}
+
+bool Regex::ContainsMatch(std::string_view /*text*/) const { return false; }
+
+bool Regex::FullMatch(std::string_view /*text*/) const { return false; }
+
+}  // namespace mhx::regex

@@ -1,0 +1,60 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// The regular-expression substrate behind the XQuery matches() and
+// analyze-string() built-ins. The planned implementation is a Pike-VM style
+// NFA simulation (linear time even on the (a|a)*b pathologies benchmarked in
+// bench_regex.cc) over the XPath/XQuery regex dialect subset: literals,
+// classes, alternation, grouping with captures, and the {m,n} quantifiers.
+//
+// Declared API only for now: Compile returns Unimplemented until the regex
+// PR lands; bench_regex.cc is gated behind MHX_BUILD_ALL_BENCH.
+
+#ifndef MHX_REGEX_REGEX_H_
+#define MHX_REGEX_REGEX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/statusor.h"
+#include "base/text_range.h"
+
+namespace mhx::regex {
+
+class Regex {
+ public:
+  struct Match {
+    // Whole-match range over the searched text.
+    TextRange range;
+    // Capture-group ranges, 1-indexed group k at groups[k - 1]; unmatched
+    // groups are empty ranges at position 0.
+    std::vector<TextRange> groups;
+  };
+
+  // Compiles `pattern` or returns InvalidArgument describing the syntax
+  // error.
+  static StatusOr<Regex> Compile(std::string_view pattern);
+
+  Regex(Regex&&) = default;
+  Regex& operator=(Regex&&) = default;
+
+  // All non-overlapping matches, leftmost-longest, in text order.
+  std::vector<Match> FindAll(std::string_view text) const;
+
+  // True when some substring of `text` matches.
+  bool ContainsMatch(std::string_view text) const;
+
+  // True when the whole of `text` matches.
+  bool FullMatch(std::string_view text) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  explicit Regex(std::string pattern) : pattern_(std::move(pattern)) {}
+
+  std::string pattern_;
+};
+
+}  // namespace mhx::regex
+
+#endif  // MHX_REGEX_REGEX_H_

@@ -1,0 +1,67 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// Deterministic synthetic editions in the shape of the paper's running
+// example: one base text (an Old English-flavoured word stream) encoded by
+// four concurrent hierarchies —
+//
+//   physical     sheet > page > line     lines cut every chars_per_line
+//                                        characters, mid-word, so words and
+//                                        lines properly overlap;
+//   structural   text  > s    > w        sentences and words;
+//   restoration  rest  > res             editorial restoration spans placed
+//                                        without regard to word or line
+//                                        boundaries;
+//   condition    cond  > dmg             damage spans, likewise unaligned.
+//
+// The same (seed, config) pair always produces byte-identical editions, so
+// benchmark runs are comparable across machines and revisions.
+
+#ifndef MHX_WORKLOAD_GENERATOR_H_
+#define MHX_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "document.h"
+
+namespace mhx::workload {
+
+struct EditionConfig {
+  uint64_t seed = 1;
+  // Number of words in the base text.
+  size_t word_count = 400;
+  // Physical line length in characters; smaller lines mean more word/line
+  // conflicts.
+  size_t chars_per_line = 40;
+  size_t lines_per_page = 10;
+  // Average sentence length in words.
+  size_t words_per_sentence = 8;
+  // Approximate fraction of the base text covered by <dmg> / <res> spans.
+  double damage_coverage = 0.10;
+  double restoration_coverage = 0.10;
+};
+
+struct Edition {
+  std::string base_text;
+  std::string physical_xml;
+  std::string structural_xml;
+  std::string restoration_xml;
+  std::string condition_xml;
+};
+
+// Deterministically generates the four aligned encodings.
+Edition GenerateEdition(const EditionConfig& config);
+
+// `count` words drawn (with repetition) from the generator vocabulary.
+std::vector<std::string> SampleVocabulary(uint64_t seed, size_t count);
+
+// GenerateEdition + Builder: hierarchy ids are 0 physical, 1 structural,
+// 2 restoration, 3 condition.
+StatusOr<MultihierarchicalDocument> BuildEditionDocument(
+    const EditionConfig& config);
+
+}  // namespace mhx::workload
+
+#endif  // MHX_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,105 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// Offsets over the 50-character base text
+//   "thaet is unawendendne sceaft and eac swa some wyrd"
+//    0....5..8.9..........21.22...28.29..32.33..36.37..40.41..45.46..50
+//
+//   words        thaet[0,5) is[6,8) unawendendne[9,21) sceaft[22,28)
+//                and[29,32) eac[33,36) swa[37,40) some[41,45) wyrd[46,50)
+//   lines        [0,15) [15,35) [35,50)   — "unawendendne" and "eac" cross
+//   restoration  res[15,23)               — crosses the word boundary at 21
+//   condition    dmg[10,14) dmg[30,38)    — the second crosses the line
+//                                           boundary at 35
+
+#include "workload/paper_data.h"
+
+namespace mhx::workload {
+
+const char kPaperBaseText[] =
+    "thaet is unawendendne sceaft and eac swa some wyrd";
+
+const char kPaperPhysicalXml[] =
+    "<sheet><page>"
+    "<line n=\"1\">thaet is unawen</line>"
+    "<line n=\"2\">dendne sceaft and ea</line>"
+    "<line n=\"3\">c swa some wyrd</line>"
+    "</page></sheet>";
+
+const char kPaperStructuralXml[] =
+    "<text>"
+    "<s><w>thaet</w> <w>is</w> <w>unawendendne</w> <w>sceaft</w></s>"
+    " "
+    "<s><w>and</w> <w>eac</w> <w>swa</w> <w>some</w> <w>wyrd</w></s>"
+    "</text>";
+
+const char kPaperRestorationXml[] =
+    "<rest>thaet is unawen"
+    "<res resp=\"KY\">dendne s</res>"
+    "ceaft and eac swa some wyrd</rest>";
+
+const char kPaperConditionXml[] =
+    "<cond>thaet is u"
+    "<dmg agent=\"damp\">nawe</dmg>"
+    "ndendne sceaft a"
+    "<dmg agent=\"damp\">nd eac s</dmg>"
+    "wa some wyrd</cond>";
+
+StatusOr<MultihierarchicalDocument> BuildPaperDocument() {
+  MultihierarchicalDocument::Builder builder;
+  builder.SetBaseText(kPaperBaseText);
+  builder.AddHierarchy("physical", kPaperPhysicalXml);
+  builder.AddHierarchy("structural", kPaperStructuralXml);
+  builder.AddHierarchy("restoration", kPaperRestorationXml);
+  builder.AddHierarchy("condition", kPaperConditionXml);
+  return builder.Build();
+}
+
+// --- Scenario queries ------------------------------------------------------
+//
+// The expected strings below pin down the serialisation contract for the
+// XQuery engine PR: items of the result sequence are concatenated without
+// separators, leaves serialise as their base-text characters, and
+// constructed elements as tags.
+
+const char kQueryI1[] = R"(
+for $l in /descendant::line[xdescendant::w[string(.) = 'unawendendne'] or
+                            overlapping::w[string(.) = 'unawendendne']]
+return <line>{string($l)}</line>)";
+
+const char kExpectedI1[] =
+    "<line>thaet is unawen</line><line>dendne sceaft and ea</line>";
+
+const char kQueryI2[] = R"(
+for $l in /descendant::line
+return (
+  for $leaf in $l/descendant::leaf()
+  return
+    if ($leaf[ancestor::w[xancestor::dmg or xdescendant::dmg or
+                          overlapping::dmg]])
+    then <b>{$leaf}</b>
+    else $leaf
+  , <br/> ))";
+
+const char kExpectedI2[] =
+    "thaet is <b>u</b><b>nawe</b><b>n</b><br/>"
+    "<b>dendne</b> sceaft <b>a</b><b>nd</b> <b>ea</b><br/>"
+    "<b>c</b> <b>s</b><b>wa</b> some wyrd<br/>";
+
+const char kQueryII1[] = R"(
+for $w in /descendant::w[string(.) = 'unawendendne']
+return
+  let $r := analyze-string($w, ".*un<a>a</a>we.*")
+  return
+    for $leaf in $r/descendant::leaf()
+    return if ($leaf/xancestor::a) then <b>{$leaf}</b> else $leaf)";
+
+const char kExpectedII1Coalesced[] = "un<b>a</b>wendendne";
+
+const char kQueryIII1Intent[] = R"(
+for $leaf in /descendant::leaf()
+return if ($leaf/xancestor::res) then <i>{$leaf}</i> else $leaf)";
+
+const char kExpectedIII1IntentCoalesced[] =
+    "thaet is unawen<i>dendne s</i>ceaft and eac swa some wyrd";
+
+}  // namespace mhx::workload

@@ -1,0 +1,59 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// The paper's Figure 1 running example — a short damaged-manuscript edition
+// with four concurrent hierarchies — plus the Section 4 scenario queries
+// (I.1, I.2, II.1, III.1) and their expected serialisations. The benchmarks
+// in bench_paper_queries.cc evaluate the queries and verify the outputs, so
+// timings are of *correct* executions only.
+//
+// The manuscript fragment is an Old English reconstruction in the spirit of
+// the paper's Electronic Boethius example: the word "unawendendne" is broken
+// across two physical lines (the overlap Example 1's analyze-string() call
+// exercises), a restoration span crosses a word boundary, and a damage span
+// crosses a line boundary.
+
+#ifndef MHX_WORKLOAD_PAPER_DATA_H_
+#define MHX_WORKLOAD_PAPER_DATA_H_
+
+#include <cstdio>
+
+#include "document.h"
+
+namespace mhx::workload {
+
+// Builds the Figure 1 document: hierarchy 0 physical (sheet>page>line),
+// 1 structural (text>s>w), 2 restoration (rest>res), 3 condition (cond>dmg).
+StatusOr<MultihierarchicalDocument> BuildPaperDocument();
+
+// The Figure 1 base text and its four XML encodings, for tests and tools.
+extern const char kPaperBaseText[];
+extern const char kPaperPhysicalXml[];
+extern const char kPaperStructuralXml[];
+extern const char kPaperRestorationXml[];
+extern const char kPaperConditionXml[];
+
+// --- Section 4 scenario queries -------------------------------------------
+//
+// Scenario I.1: render the physical lines that carry (any part of) the word
+// "unawendendne" — containment and overlap across hierarchies.
+extern const char kQueryI1[];
+extern const char kExpectedI1[];
+
+// Scenario I.2: render each line with damaged words highlighted (<b>),
+// walking the shared leaves so a word split across lines highlights in both.
+extern const char kQueryI2[];
+extern const char kExpectedI2[];
+
+// Scenario II.1: analyze-string() on Example 1's fragment pattern; matched
+// sub-fragments (the <a> group) are emphasised per leaf.
+extern const char kQueryII1[];
+extern const char kExpectedII1Coalesced[];
+
+// Scenario III.1: restored text rendered in italics (<i>) — intent form,
+// leaf runs coalesced.
+extern const char kQueryIII1Intent[];
+extern const char kExpectedIII1IntentCoalesced[];
+
+}  // namespace mhx::workload
+
+#endif  // MHX_WORKLOAD_PAPER_DATA_H_

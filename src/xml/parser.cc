@@ -1,0 +1,394 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "xml/parser.h"
+
+#include <cctype>
+
+#include "base/chars.h"
+
+namespace mhx::xml {
+namespace {
+
+using mhx::IsXmlNameChar;
+using mhx::IsXmlNameStartChar;
+
+// Recursion guard: element nesting beyond this depth is rejected instead of
+// risking a stack overflow in ParseElement (and in every tree walker
+// downstream, e.g. KyGoddag's converter).
+constexpr size_t kMaxElementDepth = 512;
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  StatusOr<Document> Parse() {
+    Document doc;
+    SkipProlog();
+    if (!MisparseOk()) return Error();
+    if (Eof() || Peek() != '<') {
+      return Fail("expected a root element");
+    }
+    bool parsed_root = false;
+    while (!Eof()) {
+      if (Peek() == '<') {
+        if (StartsWith("<!--")) {
+          if (!SkipComment()) return Error();
+          continue;
+        }
+        if (StartsWith("<?")) {
+          if (!SkipProcessingInstruction()) return Error();
+          continue;
+        }
+        if (StartsWith("</")) {
+          return Fail("closing tag without a matching open tag");
+        }
+        if (parsed_root) {
+          return Fail("multiple root elements");
+        }
+        auto root = ParseElement(doc);
+        if (!root.ok()) return root.status();
+        doc.root = std::move(root).value();
+        parsed_root = true;
+      } else if (IsSpace(Peek())) {
+        Advance();  // Whitespace outside the root is ignorable.
+      } else {
+        return Fail("character data outside the root element");
+      }
+    }
+    if (!parsed_root) return Fail("document has no root element");
+    return doc;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  void Advance() { ++pos_; }
+  bool StartsWith(std::string_view prefix) const {
+    return input_.compare(pos_, prefix.size(), prefix) == 0;
+  }
+
+  // Error plumbing: Fail() records a message and returns a dead Status; the
+  // recursive-descent helpers that cannot return StatusOr report through
+  // MisparseOk()/Error().
+  Status Fail(std::string message) {
+    if (error_.ok()) {
+      error_ = InvalidArgumentError("xml parse error at byte " +
+                                    std::to_string(pos_) + ": " +
+                                    std::move(message));
+    }
+    return error_;
+  }
+  bool MisparseOk() const { return error_.ok(); }
+  Status Error() const { return error_; }
+
+  void SkipProlog() {
+    // BOM, XML declaration, comments, PIs, DOCTYPE — anything before the root.
+    if (StartsWith("\xEF\xBB\xBF")) pos_ += 3;
+    for (;;) {
+      while (!Eof() && IsSpace(Peek())) Advance();
+      if (StartsWith("<?")) {
+        if (!SkipProcessingInstruction()) return;
+      } else if (StartsWith("<!--")) {
+        if (!SkipComment()) return;
+      } else if (StartsWith("<!DOCTYPE")) {
+        if (!SkipDoctype()) return;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool SkipProcessingInstruction() {
+    size_t close = input_.find("?>", pos_);
+    if (close == std::string_view::npos) {
+      Fail("unterminated processing instruction");
+      return false;
+    }
+    pos_ = close + 2;
+    return true;
+  }
+
+  bool SkipComment() {
+    size_t close = input_.find("-->", pos_ + 4);
+    if (close == std::string_view::npos) {
+      Fail("unterminated comment");
+      return false;
+    }
+    pos_ = close + 3;
+    return true;
+  }
+
+  bool SkipDoctype() {
+    // Skip to the matching '>', allowing one level of [...] internal subset.
+    int bracket_depth = 0;
+    while (!Eof()) {
+      char c = Peek();
+      Advance();
+      if (c == '[') ++bracket_depth;
+      if (c == ']') --bracket_depth;
+      if (c == '>' && bracket_depth <= 0) return true;
+    }
+    Fail("unterminated DOCTYPE");
+    return false;
+  }
+
+  std::string ParseName() {
+    if (Eof() || !IsXmlNameStartChar(Peek())) {
+      Fail("expected a name");
+      return {};
+    }
+    size_t start = pos_;
+    while (!Eof() && IsXmlNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  // Decodes one entity/character reference at '&', appending to `out`.
+  bool AppendReference(std::string* out) {
+    size_t semi = input_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 12) {
+      Fail("unterminated entity reference");
+      return false;
+    }
+    std::string_view name = input_.substr(pos_ + 1, semi - pos_ - 1);
+    if (name == "amp") {
+      out->push_back('&');
+    } else if (name == "lt") {
+      out->push_back('<');
+    } else if (name == "gt") {
+      out->push_back('>');
+    } else if (name == "apos") {
+      out->push_back('\'');
+    } else if (name == "quot") {
+      out->push_back('"');
+    } else if (!name.empty() && name[0] == '#') {
+      int base = 10;
+      std::string_view digits = name.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      if (digits.empty()) {
+        Fail("empty character reference");
+        return false;
+      }
+      unsigned long code = 0;
+      for (char c : digits) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (base == 16 && c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else if (base == 16 && c >= 'A' && c <= 'F') {
+          digit = c - 'A' + 10;
+        } else {
+          Fail("malformed character reference");
+          return false;
+        }
+        code = code * static_cast<unsigned long>(base) +
+               static_cast<unsigned long>(digit);
+        if (code > 0x10FFFF) {
+          Fail("character reference out of range");
+          return false;
+        }
+      }
+      AppendUtf8(static_cast<unsigned>(code), out);
+    } else {
+      Fail("unknown entity '" + std::string(name) + "'");
+      return false;
+    }
+    pos_ = semi + 1;
+    return true;
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool ParseAttributes(Element* element) {
+    for (;;) {
+      while (!Eof() && IsSpace(Peek())) Advance();
+      if (Eof() || !IsXmlNameStartChar(Peek())) return true;
+      std::string name = ParseName();
+      if (!MisparseOk()) return false;
+      while (!Eof() && IsSpace(Peek())) Advance();
+      if (Eof() || Peek() != '=') {
+        Fail("expected '=' after attribute name");
+        return false;
+      }
+      Advance();
+      while (!Eof() && IsSpace(Peek())) Advance();
+      if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+        Fail("expected a quoted attribute value");
+        return false;
+      }
+      char quote = Peek();
+      Advance();
+      std::string value;
+      while (!Eof() && Peek() != quote) {
+        if (Peek() == '<') {
+          Fail("'<' in attribute value");
+          return false;
+        }
+        if (Peek() == '&') {
+          if (!AppendReference(&value)) return false;
+        } else {
+          value.push_back(Peek());
+          Advance();
+        }
+      }
+      if (Eof()) {
+        Fail("unterminated attribute value");
+        return false;
+      }
+      Advance();  // closing quote
+      for (const auto& existing : element->attributes) {
+        if (existing.first == name) {
+          Fail("duplicate attribute '" + name + "'");
+          return false;
+        }
+      }
+      element->attributes.emplace_back(std::move(name), std::move(value));
+    }
+  }
+
+  StatusOr<Element> ParseElement(Document& doc) {
+    // Caller guarantees we sit on '<' of an open tag.
+    if (++depth_ > kMaxElementDepth) {
+      return Fail("element nesting deeper than " +
+                  std::to_string(kMaxElementDepth));
+    }
+    struct DepthGuard {
+      size_t& depth;
+      ~DepthGuard() { --depth; }
+    } guard{depth_};
+    Advance();  // '<'
+    Element element;
+    element.name = ParseName();
+    if (!MisparseOk()) return Error();
+    if (!ParseAttributes(&element)) return Error();
+    element.range.begin = doc.text.size();
+    if (StartsWith("/>")) {
+      pos_ += 2;
+      element.range.end = doc.text.size();
+      ++doc.element_count;
+      return element;
+    }
+    if (Eof() || Peek() != '>') return Fail("expected '>' to close tag");
+    Advance();
+
+    // Content loop.
+    while (!Eof()) {
+      char c = Peek();
+      if (c == '<') {
+        if (StartsWith("</")) {
+          pos_ += 2;
+          std::string close_name = ParseName();
+          if (!MisparseOk()) return Error();
+          while (!Eof() && IsSpace(Peek())) Advance();
+          if (Eof() || Peek() != '>') {
+            return Fail("expected '>' in closing tag");
+          }
+          Advance();
+          if (close_name != element.name) {
+            return Fail("mismatched closing tag </" + close_name +
+                        "> for <" + element.name + ">");
+          }
+          element.range.end = doc.text.size();
+          ++doc.element_count;
+          return element;
+        }
+        if (StartsWith("<!--")) {
+          if (!SkipComment()) return Error();
+          continue;
+        }
+        if (StartsWith("<![CDATA[")) {
+          size_t close = input_.find("]]>", pos_ + 9);
+          if (close == std::string_view::npos) {
+            return Fail("unterminated CDATA section");
+          }
+          doc.text.append(input_.substr(pos_ + 9, close - pos_ - 9));
+          pos_ = close + 3;
+          continue;
+        }
+        if (StartsWith("<?")) {
+          if (!SkipProcessingInstruction()) return Error();
+          continue;
+        }
+        auto child = ParseElement(doc);
+        if (!child.ok()) return child.status();
+        element.children.push_back(std::move(child).value());
+      } else if (c == '&') {
+        if (!AppendReference(&doc.text)) return Error();
+      } else {
+        doc.text.push_back(c);
+        Advance();
+      }
+    }
+    return Fail("unexpected end of input inside <" + element.name + ">");
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t depth_ = 0;
+  Status error_;
+};
+
+}  // namespace
+
+const std::string* Element::FindAttribute(std::string_view attr_name) const {
+  for (const auto& attr : attributes) {
+    if (attr.first == attr_name) return &attr.second;
+  }
+  return nullptr;
+}
+
+StatusOr<Document> Parse(std::string_view input) {
+  return Parser(input).Parse();
+}
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace mhx::xml

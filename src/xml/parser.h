@@ -1,0 +1,56 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// A small well-formed-XML parser specialised for multihierarchical markup:
+// alongside the element tree it records, for every element, the half-open
+// range of the *character content* the element spans. Two XML encodings of
+// the same base text can therefore be aligned purely by comparing
+// `Document::text` and merging the range-annotated elements into one
+// KyGODDAG (see goddag/kygoddag.h).
+//
+// Supported: elements, attributes (single or double quoted), self-closing
+// tags, character data, CDATA sections, comments, processing instructions,
+// an XML declaration, a (skipped) DOCTYPE, and the five predefined entities
+// plus decimal/hex character references. Not supported: namespaces beyond
+// treating ':' as a name character, and external entities.
+
+#ifndef MHX_XML_PARSER_H_
+#define MHX_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/statusor.h"
+#include "base/text_range.h"
+
+namespace mhx::xml {
+
+struct Element {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  // Range over Document::text covered by this element's character content.
+  TextRange range;
+  std::vector<Element> children;
+
+  // Convenience lookup; returns nullptr when absent.
+  const std::string* FindAttribute(std::string_view attr_name) const;
+};
+
+struct Document {
+  Element root;
+  // Concatenated character content of the whole document, entities decoded.
+  std::string text;
+  // Total number of elements, root included.
+  size_t element_count = 0;
+};
+
+// Parses `input` or returns InvalidArgument with a byte offset and reason.
+StatusOr<Document> Parse(std::string_view input);
+
+// Escapes '&', '<', '>' and quotes for embedding `text` in XML content.
+std::string EscapeText(std::string_view text);
+
+}  // namespace mhx::xml
+
+#endif  // MHX_XML_PARSER_H_

@@ -1,0 +1,294 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "xpath/axes.h"
+
+#include <algorithm>
+
+namespace mhx::xpath {
+
+using goddag::GNode;
+using goddag::GNodeKind;
+using goddag::KyGoddag;
+using goddag::NodeId;
+using goddag::kInvalidNode;
+
+bool IsExtendedAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kXAncestor:
+    case Axis::kXDescendant:
+    case Axis::kOverlapping:
+    case Axis::kXFollowing:
+    case Axis::kXPreceding:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf:
+      return "self";
+    case Axis::kChild:
+      return "child";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kPreceding:
+      return "preceding";
+    case Axis::kXAncestor:
+      return "xancestor";
+    case Axis::kXDescendant:
+      return "xdescendant";
+    case Axis::kOverlapping:
+      return "overlapping";
+    case Axis::kXFollowing:
+      return "xfollowing";
+    case Axis::kXPreceding:
+      return "xpreceding";
+  }
+  return "unknown";
+}
+
+StatusOr<Axis> AxisFromName(std::string_view name) {
+  static const std::map<std::string_view, Axis> kByName = {
+      {"self", Axis::kSelf},
+      {"child", Axis::kChild},
+      {"parent", Axis::kParent},
+      {"descendant", Axis::kDescendant},
+      {"descendant-or-self", Axis::kDescendantOrSelf},
+      {"ancestor", Axis::kAncestor},
+      {"ancestor-or-self", Axis::kAncestorOrSelf},
+      {"following-sibling", Axis::kFollowingSibling},
+      {"preceding-sibling", Axis::kPrecedingSibling},
+      {"following", Axis::kFollowing},
+      {"preceding", Axis::kPreceding},
+      {"xancestor", Axis::kXAncestor},
+      {"xdescendant", Axis::kXDescendant},
+      {"overlapping", Axis::kOverlapping},
+      {"xfollowing", Axis::kXFollowing},
+      {"xpreceding", Axis::kXPreceding},
+  };
+  auto it = kByName.find(name);
+  if (it == kByName.end()) {
+    return InvalidArgumentError("unknown axis '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+NodeTest NodeTest::Any() { return NodeTest(Kind::kAny, {}); }
+
+NodeTest NodeTest::Name(std::string name) {
+  return NodeTest(Kind::kName, std::move(name));
+}
+
+bool NodeTest::Matches(const GNode& node) const {
+  switch (kind_) {
+    case Kind::kAny:
+      return node.kind != GNodeKind::kFree;
+    case Kind::kName:
+      return node.kind == GNodeKind::kElement && node.name == name_;
+  }
+  return false;
+}
+
+AxisEvaluator::AxisEvaluator(const KyGoddag* goddag, AxisOptions options)
+    : goddag_(goddag), options_(options) {}
+
+const goddag::RangeIndex& AxisEvaluator::index() const {
+  if (index_ == nullptr || index_->revision() != goddag_->revision()) {
+    index_ = std::make_unique<goddag::RangeIndex>(goddag_);
+  }
+  return *index_;
+}
+
+void AxisEvaluator::SortDocumentOrder(std::vector<NodeId>* ids) const {
+  const KyGoddag& kg = *goddag_;
+  std::sort(ids->begin(), ids->end(), [&kg](NodeId a, NodeId b) {
+    const TextRange& ra = kg.node(a).range;
+    const TextRange& rb = kg.node(b).range;
+    if (ra != rb) return ra < rb;
+    return a < b;
+  });
+}
+
+void AxisEvaluator::EvaluateExtendedNaive(const GNode& context_node,
+                                          NodeId context, Axis axis,
+                                          std::vector<NodeId>* out) const {
+  const TextRange& c = context_node.range;
+  const size_t table = goddag_->node_table_size();
+  for (NodeId id = 0; id < table; ++id) {
+    if (id == context) continue;
+    const GNode& node = goddag_->node(id);
+    if (node.kind != GNodeKind::kElement) continue;
+    const TextRange& r = node.range;
+    bool hit = false;
+    switch (axis) {
+      case Axis::kXAncestor:
+        hit = r.Contains(c);
+        break;
+      case Axis::kXDescendant:
+        hit = c.Contains(r);
+        break;
+      case Axis::kOverlapping:
+        hit = OverlappingRange(c, r);
+        break;
+      case Axis::kXFollowing:
+        hit = r.begin >= c.end;
+        break;
+      case Axis::kXPreceding:
+        hit = r.end <= c.begin;
+        break;
+      default:
+        return;
+    }
+    if (hit) out->push_back(id);
+  }
+}
+
+void AxisEvaluator::EvaluateExtendedIndexed(const GNode& context_node,
+                                            NodeId context, Axis axis,
+                                            std::vector<NodeId>* out) const {
+  const TextRange& c = context_node.range;
+  const goddag::RangeIndex& idx = index();
+  std::vector<NodeId> hits;
+  switch (axis) {
+    case Axis::kXAncestor:
+      hits = idx.NodesContaining(c);
+      break;
+    case Axis::kXDescendant:
+      hits = idx.NodesContainedIn(c);
+      break;
+    case Axis::kOverlapping:
+      hits = idx.NodesOverlapping(c);
+      break;
+    case Axis::kXFollowing:
+      hits = idx.NodesBeginningAtOrAfter(c.end);
+      break;
+    case Axis::kXPreceding:
+      hits = idx.NodesEndingAtOrBefore(c.begin);
+      break;
+    default:
+      return;
+  }
+  out->reserve(hits.size());
+  for (NodeId id : hits) {
+    if (id != context) out->push_back(id);
+  }
+}
+
+void AxisEvaluator::EvaluateStandard(NodeId context, Axis axis,
+                                     std::vector<NodeId>* out) const {
+  const KyGoddag& kg = *goddag_;
+  const GNode& node = kg.node(context);
+  switch (axis) {
+    case Axis::kSelf:
+      out->push_back(context);
+      return;
+    case Axis::kChild:
+      *out = node.children;
+      return;
+    case Axis::kParent:
+      if (node.parent != kInvalidNode) out->push_back(node.parent);
+      return;
+    case Axis::kDescendantOrSelf:
+      out->push_back(context);
+      [[fallthrough]];
+    case Axis::kDescendant: {
+      // Iterative pre-order DFS over arcs.
+      std::vector<NodeId> stack(node.children.rbegin(), node.children.rend());
+      while (!stack.empty()) {
+        NodeId id = stack.back();
+        stack.pop_back();
+        out->push_back(id);
+        const GNode& n = kg.node(id);
+        stack.insert(stack.end(), n.children.rbegin(), n.children.rend());
+      }
+      return;
+    }
+    case Axis::kAncestorOrSelf:
+      out->push_back(context);
+      [[fallthrough]];
+    case Axis::kAncestor: {
+      for (NodeId p = node.parent; p != kInvalidNode; p = kg.node(p).parent) {
+        out->push_back(p);
+      }
+      return;
+    }
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling: {
+      if (node.parent == kInvalidNode) return;
+      const std::vector<NodeId>& siblings = kg.node(node.parent).children;
+      auto self = std::find(siblings.begin(), siblings.end(), context);
+      if (self == siblings.end()) return;
+      if (axis == Axis::kFollowingSibling) {
+        out->insert(out->end(), self + 1, siblings.end());
+      } else {
+        out->insert(out->end(), siblings.begin(), self);
+      }
+      return;
+    }
+    case Axis::kFollowing:
+    case Axis::kPreceding: {
+      // Within the context's own hierarchy. Because same-hierarchy ranges
+      // nest or are disjoint, document-order following reduces to "begins at
+      // or after my end" and preceding to "ends at or before my start".
+      if (node.kind != GNodeKind::kElement) return;
+      const goddag::Hierarchy& h = kg.hierarchy(node.hierarchy);
+      for (NodeId id : h.nodes) {
+        const GNode& n = kg.node(id);
+        bool hit = axis == Axis::kFollowing ? n.range.begin >= node.range.end
+                                           : n.range.end <= node.range.begin;
+        if (hit && id != context) out->push_back(id);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+std::vector<NodeId> AxisEvaluator::EvaluateAxisOnly(NodeId context,
+                                                    Axis axis) const {
+  std::vector<NodeId> out;
+  if (context >= goddag_->node_table_size()) return out;
+  const GNode& context_node = goddag_->node(context);
+  if (context_node.kind == GNodeKind::kFree) return out;
+  if (IsExtendedAxis(axis)) {
+    if (options_.use_index) {
+      EvaluateExtendedIndexed(context_node, context, axis, &out);
+    } else {
+      EvaluateExtendedNaive(context_node, context, axis, &out);
+    }
+  } else {
+    EvaluateStandard(context, axis, &out);
+  }
+  SortDocumentOrder(&out);
+  return out;
+}
+
+std::vector<NodeId> AxisEvaluator::Evaluate(NodeId context, Axis axis,
+                                            const NodeTest& test) const {
+  std::vector<NodeId> out = EvaluateAxisOnly(context, axis);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [this, &test](NodeId id) {
+                             return !test.Matches(goddag_->node(id));
+                           }),
+            out.end());
+  return out;
+}
+
+}  // namespace mhx::xpath

@@ -1,0 +1,23 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "xquery/engine.h"
+
+namespace mhx::xquery {
+
+Engine::Engine(const MultihierarchicalDocument* document)
+    : document_(document) {}
+
+StatusOr<std::string> Engine::Evaluate(std::string_view /*query*/) {
+  return UnimplementedError(
+      "XQuery evaluation is not implemented yet; gate callers behind "
+      "MHX_BUILD_ALL_BENCH until the engine lands");
+}
+
+StatusOr<std::vector<std::string>> Engine::EvaluateKeepingTemporaries(
+    std::string_view /*query*/) {
+  return UnimplementedError("XQuery evaluation is not implemented yet");
+}
+
+void Engine::CleanupTemporaries() {}
+
+}  // namespace mhx::xquery

@@ -1,0 +1,61 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// The XQuery evaluation engine over a MultihierarchicalDocument: FLWOR
+// expressions, predicates, constructors, the paper's extended axes in path
+// steps, and analyze-string() with XML fragment patterns (which materialises
+// matches as *temporary virtual hierarchies* on the KyGODDAG — hence the
+// KeepingTemporaries/CleanupTemporaries pair, letting benchmarks separate
+// evaluation cost from virtual-hierarchy teardown).
+//
+// This layer is declared as part of the public API but not yet implemented;
+// every evaluation entry point returns Unimplemented. Implementing it is the
+// next PR's tentpole (see ROADMAP.md).
+
+#ifndef MHX_XQUERY_ENGINE_H_
+#define MHX_XQUERY_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/statusor.h"
+
+namespace mhx {
+class MultihierarchicalDocument;
+}  // namespace mhx
+
+namespace mhx::xquery {
+
+class Engine {
+ public:
+  explicit Engine(const MultihierarchicalDocument* document);
+
+  // Evaluates a query and serialises the result sequence.
+  StatusOr<std::string> Evaluate(std::string_view query);
+
+  // Evaluates a query but keeps any virtual hierarchies created by
+  // analyze-string() alive so the caller can inspect (or benchmark) them.
+  // Each element of the result is one serialised item.
+  StatusOr<std::vector<std::string>> EvaluateKeepingTemporaries(
+      std::string_view query);
+
+  // Removes the virtual hierarchies kept by EvaluateKeepingTemporaries.
+  void CleanupTemporaries();
+
+  const MultihierarchicalDocument* document() const { return document_; }
+
+ private:
+  friend class mhx::MultihierarchicalDocument;
+
+  // Called by the document's move operations to keep the back-reference
+  // valid.
+  void Rebind(const MultihierarchicalDocument* document) {
+    document_ = document;
+  }
+
+  const MultihierarchicalDocument* document_;
+};
+
+}  // namespace mhx::xquery
+
+#endif  // MHX_XQUERY_ENGINE_H_

@@ -1,0 +1,11 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "xquery/parser.h"
+
+namespace mhx::xquery {
+
+StatusOr<std::unique_ptr<Expr>> ParseQuery(std::string_view /*query*/) {
+  return UnimplementedError("the XQuery parser is not implemented yet");
+}
+
+}  // namespace mhx::xquery

@@ -1,0 +1,38 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// XQuery front end: parses the FLWOR subset the paper's queries use —
+// for/let/return, if/then/else, quantified `some ... satisfies`, path
+// expressions with standard and extended axes plus the `leaf()` node test,
+// predicates, direct/computed constructors, and the built-ins string(),
+// string-length(), count(), name(), matches(), analyze-string().
+//
+// Declared API only for now: ParseQuery returns Unimplemented until the
+// XQuery PR lands (see ROADMAP.md). The Expr node is intentionally opaque.
+
+#ifndef MHX_XQUERY_PARSER_H_
+#define MHX_XQUERY_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/statusor.h"
+
+namespace mhx::xquery {
+
+// Opaque parsed-query handle; the engine PR will flesh out the AST behind
+// it. Holding the source keeps error messages anchored to the query text.
+class Expr {
+ public:
+  explicit Expr(std::string source) : source_(std::move(source)) {}
+  const std::string& source() const { return source_; }
+
+ private:
+  std::string source_;
+};
+
+StatusOr<std::unique_ptr<Expr>> ParseQuery(std::string_view query);
+
+}  // namespace mhx::xquery
+
+#endif  // MHX_XQUERY_PARSER_H_

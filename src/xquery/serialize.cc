@@ -1,0 +1,40 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "xquery/serialize.h"
+
+#include "base/chars.h"
+
+namespace mhx::xquery {
+
+std::string CoalesceRuns(std::string_view serialized) {
+  std::string out;
+  out.reserve(serialized.size());
+  size_t i = 0;
+  while (i < serialized.size()) {
+    // At "</name><name>", splice the close/open pair out.
+    if (serialized[i] == '<' && i + 1 < serialized.size() &&
+        serialized[i + 1] == '/') {
+      size_t name_begin = i + 2;
+      size_t name_end = name_begin;
+      while (name_end < serialized.size() &&
+             IsXmlNameChar(serialized[name_end])) {
+        ++name_end;
+      }
+      if (name_end > name_begin && name_end < serialized.size() &&
+          serialized[name_end] == '>') {
+        std::string_view name =
+            serialized.substr(name_begin, name_end - name_begin);
+        std::string reopen = "<" + std::string(name) + ">";
+        if (serialized.compare(name_end + 1, reopen.size(), reopen) == 0) {
+          i = name_end + 1 + reopen.size();
+          continue;
+        }
+      }
+    }
+    out.push_back(serialized[i]);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace mhx::xquery

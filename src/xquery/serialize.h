@@ -1,0 +1,24 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// Serialisation helpers for query results.
+
+#ifndef MHX_XQUERY_SERIALIZE_H_
+#define MHX_XQUERY_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace mhx::xquery {
+
+// Merges adjacent runs of the same inline wrapper element in a serialised
+// result: every occurrence of `</x><x>` (same tag name, no attributes on
+// the reopening tag) collapses, so per-leaf output like
+// "<b>d</b><b>endne</b> s<b>c</b><b>eaft</b>" becomes
+// "<b>dendne</b> s<b>ceaft</b>". Queries that emit one wrapper per leaf use
+// this to compare against whole-span expected strings independently of how
+// finely the leaf partition happens to be cut.
+std::string CoalesceRuns(std::string_view serialized);
+
+}  // namespace mhx::xquery
+
+#endif  // MHX_XQUERY_SERIALIZE_H_

@@ -1,0 +1,59 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "regex/fragment_pattern.h"
+
+namespace mhx::regex {
+namespace {
+
+TEST(FragmentPatternTest, TranslatesExampleOnePattern) {
+  auto f = TranslateFragmentPattern(".*un<a>a</a>we.*");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(f->regex, ".*un(a)we.*");
+  EXPECT_EQ(f->group_names, (std::vector<std::string>{"a"}));
+}
+
+TEST(FragmentPatternTest, TranslatesNestedFragments) {
+  auto f = TranslateFragmentPattern(".*un<a>a<b>w</b>e</a>nden<c>dne</c>.*");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(f->regex, ".*un(a(w)e)nden(dne).*");
+  EXPECT_EQ(f->group_names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(FragmentPatternTest, PlainRegexPassesThrough) {
+  auto f = TranslateFragmentPattern("[aeiou][^aeiou ]+");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->regex, "[aeiou][^aeiou ]+");
+  EXPECT_TRUE(f->group_names.empty());
+}
+
+TEST(FragmentPatternTest, EscapesPassThrough) {
+  auto f = TranslateFragmentPattern("a\\<b\\>c");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->regex, "a\\<b\\>c");
+}
+
+TEST(FragmentPatternTest, RejectsMalformedMarkup) {
+  EXPECT_FALSE(TranslateFragmentPattern("<a>x").ok());       // unclosed
+  EXPECT_FALSE(TranslateFragmentPattern("x</a>").ok());      // stray close
+  EXPECT_FALSE(TranslateFragmentPattern("<a>x</b>").ok());   // mismatched
+  EXPECT_FALSE(TranslateFragmentPattern("<a>b<c>d</a>e</c>").ok());  // crossing
+  EXPECT_FALSE(TranslateFragmentPattern("a<b").ok());        // malformed tag
+  EXPECT_FALSE(TranslateFragmentPattern("a<>b").ok());       // empty name
+}
+
+TEST(StripContextWildcardsTest, StripsLeadingAndTrailing) {
+  EXPECT_EQ(StripContextWildcards(".*un<a>a</a>we.*"), "un<a>a</a>we");
+  EXPECT_EQ(StripContextWildcards(".*abc"), "abc");
+  EXPECT_EQ(StripContextWildcards("abc.*"), "abc");
+  EXPECT_EQ(StripContextWildcards("abc"), "abc");
+  EXPECT_EQ(StripContextWildcards(".*"), "");
+  // An escaped trailing dot is not a context wildcard.
+  EXPECT_EQ(StripContextWildcards("ab\\.*"), "ab\\.*");
+}
+
+}  // namespace
+}  // namespace mhx::regex

@@ -1,0 +1,232 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "goddag/kygoddag.h"
+#include "workload/paper_data.h"
+
+namespace mhx::goddag {
+namespace {
+
+// Leaf partition as plain boundary offsets for easy comparison.
+std::vector<size_t> Boundaries(const KyGoddag& kg) {
+  std::vector<size_t> out;
+  for (const Leaf& leaf : kg.leaves()) {
+    if (out.empty()) out.push_back(leaf.range.begin);
+    out.push_back(leaf.range.end);
+  }
+  return out;
+}
+
+// The partition must tile [0, n) exactly.
+void ExpectTiles(const KyGoddag& kg) {
+  const auto& leaves = kg.leaves();
+  ASSERT_FALSE(leaves.empty());
+  EXPECT_EQ(leaves.front().range.begin, 0u);
+  EXPECT_EQ(leaves.back().range.end, kg.base_text().size());
+  for (size_t i = 0; i + 1 < leaves.size(); ++i) {
+    EXPECT_EQ(leaves[i].range.end, leaves[i + 1].range.begin);
+    EXPECT_FALSE(leaves[i].range.empty());
+  }
+}
+
+KyGoddag PaperGoddag() {
+  KyGoddag kg(mhx::workload::kPaperBaseText);
+  auto phys = mhx::xml::Parse(mhx::workload::kPaperPhysicalXml);
+  auto strut = mhx::xml::Parse(mhx::workload::kPaperStructuralXml);
+  EXPECT_TRUE(phys.ok());
+  EXPECT_TRUE(strut.ok());
+  EXPECT_TRUE(kg.AddHierarchy("physical", *phys).ok());
+  EXPECT_TRUE(kg.AddHierarchy("structural", *strut).ok());
+  return kg;
+}
+
+TEST(KyGoddagTest, BuildsHierarchiesOverSharedText) {
+  KyGoddag kg = PaperGoddag();
+  EXPECT_EQ(kg.base_text(), mhx::workload::kPaperBaseText);
+  // physical: sheet + page + 3 lines = 5; structural: text + 2 s + 9 w = 12.
+  EXPECT_EQ(kg.hierarchy(0).nodes.size(), 5u);
+  EXPECT_EQ(kg.hierarchy(1).nodes.size(), 12u);
+  EXPECT_EQ(kg.element_count(), 17u);
+  // Both hierarchy roots hang off the GODDAG root.
+  EXPECT_EQ(kg.node(kg.root()).children.size(), 2u);
+  const GNode& sheet = kg.node(kg.hierarchy(0).root);
+  EXPECT_EQ(sheet.name, "sheet");
+  EXPECT_EQ(sheet.range, TextRange(0, kg.base_text().size()));
+  ExpectTiles(kg);
+}
+
+TEST(KyGoddagTest, RejectsMisalignedHierarchy) {
+  KyGoddag kg(mhx::workload::kPaperBaseText);
+  auto other = mhx::xml::Parse("<t>some other text</t>");
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(kg.AddHierarchy("bogus", *other).ok());
+}
+
+TEST(KyGoddagTest, NodeStringExtractsDominatedText) {
+  KyGoddag kg = PaperGoddag();
+  bool found = false;
+  for (NodeId id : kg.hierarchy(1).nodes) {
+    if (kg.node(id).name == "w" && kg.NodeString(id) == "unawendendne") {
+      found = true;
+      EXPECT_EQ(kg.node(id).range, TextRange(9, 21));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(KyGoddagTest, VirtualHierarchyAddRemoveRestoresPartition) {
+  KyGoddag kg = PaperGoddag();
+  std::vector<size_t> before = Boundaries(kg);
+  auto h = kg.AddVirtualHierarchy(
+      "match", {VirtualElement{"m", TextRange(11, 19), {}},
+                VirtualElement{"g", TextRange(13, 17), {}}});
+  ASSERT_TRUE(h.ok()) << h.status();
+  ExpectTiles(kg);
+  std::vector<size_t> during = Boundaries(kg);
+  for (size_t pos : {11u, 13u, 17u, 19u}) {
+    EXPECT_NE(std::find(during.begin(), during.end(), pos), during.end())
+        << "missing boundary " << pos;
+  }
+  EXPECT_GT(during.size(), before.size());
+  // The virtual hierarchy is navigable: match root -> m -> g.
+  const Hierarchy& vh = kg.hierarchy(*h);
+  EXPECT_TRUE(vh.is_virtual);
+  ASSERT_EQ(vh.nodes.size(), 3u);
+  EXPECT_EQ(kg.node(vh.root).name, "match");
+  ASSERT_TRUE(kg.RemoveVirtualHierarchy(*h).ok());
+  EXPECT_EQ(Boundaries(kg), before);
+  ExpectTiles(kg);
+}
+
+TEST(KyGoddagTest, IncrementalAndFullRebuildAgree) {
+  // The same add/remove sequence executed twice — once with incremental
+  // splicing, once with full lazy rebuilds — must produce identical
+  // partitions at every step.
+  struct Op {
+    TextRange a, b;
+  };
+  std::vector<Op> ops = {
+      {TextRange(1, 49), TextRange(2, 48)},
+      {TextRange(10, 20), TextRange(12, 18)},
+      {TextRange(5, 45), TextRange(5, 44)},
+      {TextRange(21, 22), TextRange(21, 22)},
+      {TextRange(3, 30), TextRange(29, 30)},
+  };
+  KyGoddag incremental = PaperGoddag();
+  KyGoddag full = PaperGoddag();
+  incremental.set_incremental_leaves(true);
+  full.set_incremental_leaves(false);
+  (void)incremental.leaves();  // prime the incremental structures
+  for (const Op& op : ops) {
+    auto hi = incremental.AddVirtualHierarchy(
+        "v", {VirtualElement{"x", op.a, {}}, VirtualElement{"y", op.b, {}}});
+    auto hf = full.AddVirtualHierarchy(
+        "v", {VirtualElement{"x", op.a, {}}, VirtualElement{"y", op.b, {}}});
+    ASSERT_TRUE(hi.ok());
+    ASSERT_TRUE(hf.ok());
+    EXPECT_EQ(Boundaries(incremental), Boundaries(full));
+    ASSERT_TRUE(incremental.RemoveVirtualHierarchy(*hi).ok());
+    ASSERT_TRUE(full.RemoveVirtualHierarchy(*hf).ok());
+    EXPECT_EQ(Boundaries(incremental), Boundaries(full));
+  }
+  // Stacked (not immediately removed) hierarchies must also agree.
+  auto h1i = incremental.AddVirtualHierarchy(
+      "a", {VirtualElement{"x", TextRange(7, 33), {}}});
+  auto h1f =
+      full.AddVirtualHierarchy("a", {VirtualElement{"x", TextRange(7, 33), {}}});
+  auto h2i = incremental.AddVirtualHierarchy(
+      "b", {VirtualElement{"y", TextRange(30, 40), {}}});
+  auto h2f =
+      full.AddVirtualHierarchy("b", {VirtualElement{"y", TextRange(30, 40), {}}});
+  ASSERT_TRUE(h1i.ok() && h1f.ok() && h2i.ok() && h2f.ok());
+  EXPECT_EQ(Boundaries(incremental), Boundaries(full));
+  ASSERT_TRUE(incremental.RemoveVirtualHierarchy(*h1i).ok());
+  ASSERT_TRUE(full.RemoveVirtualHierarchy(*h1f).ok());
+  // 30 stays a boundary (kept alive by h2), 7 and 33 go away.
+  EXPECT_EQ(Boundaries(incremental), Boundaries(full));
+  ASSERT_TRUE(incremental.RemoveVirtualHierarchy(*h2i).ok());
+  ASSERT_TRUE(full.RemoveVirtualHierarchy(*h2f).ok());
+  EXPECT_EQ(Boundaries(incremental), Boundaries(full));
+}
+
+TEST(KyGoddagTest, SharedBoundaryRefcounting) {
+  KyGoddag kg = PaperGoddag();
+  kg.set_incremental_leaves(true);
+  (void)kg.leaves();
+  // Word "unawendendne" already contributes boundaries 9 and 21; a virtual
+  // element sharing them must not remove them when it goes away.
+  auto h = kg.AddVirtualHierarchy("v",
+                                  {VirtualElement{"x", TextRange(9, 21), {}}});
+  ASSERT_TRUE(h.ok());
+  std::vector<size_t> with = Boundaries(kg);
+  ASSERT_TRUE(kg.RemoveVirtualHierarchy(*h).ok());
+  std::vector<size_t> after = Boundaries(kg);
+  EXPECT_EQ(with, after);  // 9 and 21 survive via the word's refcount
+  EXPECT_NE(std::find(after.begin(), after.end(), 9u), after.end());
+  EXPECT_NE(std::find(after.begin(), after.end(), 21u), after.end());
+}
+
+TEST(KyGoddagTest, VirtualHierarchyValidation) {
+  KyGoddag kg = PaperGoddag();
+  // Overlapping elements within one hierarchy are rejected.
+  EXPECT_FALSE(kg.AddVirtualHierarchy(
+                     "v", {VirtualElement{"x", TextRange(0, 10), {}},
+                           VirtualElement{"y", TextRange(5, 15), {}}})
+                   .ok());
+  // Non-adjacent overlap hiding behind a nested chain is also rejected.
+  EXPECT_FALSE(kg.AddVirtualHierarchy(
+                     "v", {VirtualElement{"a", TextRange(0, 10), {}},
+                           VirtualElement{"b", TextRange(1, 4), {}},
+                           VirtualElement{"c", TextRange(2, 12), {}}})
+                   .ok());
+  // Out-of-bounds and empty ranges are rejected.
+  EXPECT_FALSE(kg.AddVirtualHierarchy(
+                     "v", {VirtualElement{"x", TextRange(0, 1000), {}}})
+                   .ok());
+  EXPECT_FALSE(
+      kg.AddVirtualHierarchy("v", {VirtualElement{"x", TextRange(5, 5), {}}})
+          .ok());
+  // Removing a persistent hierarchy is refused; removing twice fails.
+  EXPECT_FALSE(kg.RemoveVirtualHierarchy(0).ok());
+  auto h = kg.AddVirtualHierarchy("v",
+                                  {VirtualElement{"x", TextRange(1, 2), {}}});
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(kg.RemoveVirtualHierarchy(*h).ok());
+  EXPECT_FALSE(kg.RemoveVirtualHierarchy(*h).ok());
+}
+
+TEST(KyGoddagTest, NodeAndHierarchySlotsAreRecycled) {
+  KyGoddag kg = PaperGoddag();
+  size_t table = kg.node_table_size();
+  size_t hierarchies = kg.hierarchy_table_size();
+  for (int i = 0; i < 100; ++i) {
+    auto h = kg.AddVirtualHierarchy(
+        "v", {VirtualElement{"x", TextRange(4, 40), {}},
+              VirtualElement{"y", TextRange(6, 20), {}}});
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(kg.RemoveVirtualHierarchy(*h).ok());
+  }
+  // One add/remove cycle may grow the tables once; they must not keep
+  // growing.
+  EXPECT_LE(kg.node_table_size(), table + 3);
+  EXPECT_LE(kg.hierarchy_table_size(), hierarchies + 1);
+}
+
+TEST(KyGoddagTest, RevisionBumpsOnStructuralChange) {
+  KyGoddag kg = PaperGoddag();
+  uint64_t r0 = kg.revision();
+  auto h = kg.AddVirtualHierarchy("v",
+                                  {VirtualElement{"x", TextRange(1, 2), {}}});
+  ASSERT_TRUE(h.ok());
+  EXPECT_GT(kg.revision(), r0);
+  uint64_t r1 = kg.revision();
+  ASSERT_TRUE(kg.RemoveVirtualHierarchy(*h).ok());
+  EXPECT_GT(kg.revision(), r1);
+}
+
+}  // namespace
+}  // namespace mhx::goddag

@@ -1,0 +1,35 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include <gtest/gtest.h>
+
+#include "xquery/serialize.h"
+
+namespace mhx::xquery {
+namespace {
+
+TEST(CoalesceRunsTest, MergesAdjacentSameTagRuns) {
+  EXPECT_EQ(CoalesceRuns("<b>d</b><b>endne</b>"), "<b>dendne</b>");
+  EXPECT_EQ(CoalesceRuns("<b>a</b><b>b</b><b>c</b>"), "<b>abc</b>");
+  EXPECT_EQ(CoalesceRuns("un<b>a</b>wendendne"), "un<b>a</b>wendendne");
+}
+
+TEST(CoalesceRunsTest, LeavesDifferentTagsAndSeparatedRunsAlone) {
+  EXPECT_EQ(CoalesceRuns("<b>a</b><i>b</i>"), "<b>a</b><i>b</i>");
+  EXPECT_EQ(CoalesceRuns("<b>a</b> <b>b</b>"), "<b>a</b> <b>b</b>");
+  EXPECT_EQ(CoalesceRuns("<b>a</b><br/><b>b</b>"), "<b>a</b><br/><b>b</b>");
+}
+
+TEST(CoalesceRunsTest, HandlesMixedContent) {
+  EXPECT_EQ(
+      CoalesceRuns("thaet is <b>u</b><b>nawe</b><b>n</b><br/>"
+                   "<b>dendne</b> sceaft"),
+      "thaet is <b>unawen</b><br/><b>dendne</b> sceaft");
+}
+
+TEST(CoalesceRunsTest, EmptyAndPlainStrings) {
+  EXPECT_EQ(CoalesceRuns(""), "");
+  EXPECT_EQ(CoalesceRuns("no tags here"), "no tags here");
+}
+
+}  // namespace
+}  // namespace mhx::xquery

@@ -1,0 +1,78 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include <gtest/gtest.h>
+
+#include "base/text_range.h"
+
+namespace mhx {
+namespace {
+
+TEST(TextRangeTest, Basics) {
+  TextRange r(3, 8);
+  EXPECT_EQ(r.length(), 5u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(TextRange(4, 4).empty());
+  EXPECT_EQ(r.ToString(), "[3, 8)");
+}
+
+TEST(TextRangeTest, ContainsRange) {
+  TextRange outer(2, 10);
+  EXPECT_TRUE(outer.Contains(TextRange(2, 10)));  // equal ranges contain
+  EXPECT_TRUE(outer.Contains(TextRange(3, 9)));
+  EXPECT_TRUE(outer.Contains(TextRange(2, 5)));
+  EXPECT_TRUE(outer.Contains(TextRange(5, 10)));
+  EXPECT_FALSE(outer.Contains(TextRange(1, 5)));
+  EXPECT_FALSE(outer.Contains(TextRange(5, 11)));
+  EXPECT_FALSE(TextRange(3, 9).Contains(outer));
+}
+
+TEST(TextRangeTest, ContainsPosition) {
+  TextRange r(3, 6);
+  EXPECT_FALSE(r.Contains(2));
+  EXPECT_TRUE(r.Contains(3));
+  EXPECT_TRUE(r.Contains(5));
+  EXPECT_FALSE(r.Contains(6));  // half-open
+}
+
+TEST(TextRangeTest, Intersects) {
+  EXPECT_TRUE(TextRange(0, 5).Intersects(TextRange(4, 8)));
+  EXPECT_TRUE(TextRange(4, 8).Intersects(TextRange(0, 5)));
+  EXPECT_TRUE(TextRange(0, 8).Intersects(TextRange(2, 4)));
+  EXPECT_FALSE(TextRange(0, 5).Intersects(TextRange(5, 8)));  // adjacent
+  EXPECT_FALSE(TextRange(0, 5).Intersects(TextRange(7, 9)));
+  EXPECT_FALSE(TextRange(2, 2).Intersects(TextRange(0, 5)));  // empty
+}
+
+TEST(TextRangeTest, PrecedesAndFollows) {
+  EXPECT_TRUE(TextRange(0, 5).Precedes(TextRange(5, 8)));
+  EXPECT_TRUE(TextRange(0, 5).Precedes(TextRange(6, 8)));
+  EXPECT_FALSE(TextRange(0, 5).Precedes(TextRange(4, 8)));
+  EXPECT_TRUE(TextRange(5, 8).Follows(TextRange(0, 5)));
+  EXPECT_FALSE(TextRange(4, 8).Follows(TextRange(0, 5)));
+}
+
+TEST(TextRangeTest, OverlappingRangeIsProperOverlapOnly) {
+  // Proper overlap: intersecting, neither contains the other.
+  EXPECT_TRUE(OverlappingRange(TextRange(0, 5), TextRange(4, 8)));
+  EXPECT_TRUE(OverlappingRange(TextRange(4, 8), TextRange(0, 5)));
+  // Containment (either way) and equality are not overlap.
+  EXPECT_FALSE(OverlappingRange(TextRange(0, 8), TextRange(2, 4)));
+  EXPECT_FALSE(OverlappingRange(TextRange(2, 4), TextRange(0, 8)));
+  EXPECT_FALSE(OverlappingRange(TextRange(2, 4), TextRange(2, 4)));
+  // Shared boundary containments are still containments.
+  EXPECT_FALSE(OverlappingRange(TextRange(0, 8), TextRange(0, 4)));
+  EXPECT_FALSE(OverlappingRange(TextRange(0, 8), TextRange(4, 8)));
+  // Disjoint and adjacent are not overlap.
+  EXPECT_FALSE(OverlappingRange(TextRange(0, 4), TextRange(4, 8)));
+  EXPECT_FALSE(OverlappingRange(TextRange(0, 3), TextRange(5, 8)));
+}
+
+TEST(TextRangeTest, DocumentOrderComparator) {
+  EXPECT_LT(TextRange(0, 5), TextRange(1, 3));
+  // Same start: the longer (containing) range sorts first.
+  EXPECT_LT(TextRange(0, 9), TextRange(0, 5));
+  EXPECT_FALSE(TextRange(0, 5) < TextRange(0, 5));
+}
+
+}  // namespace
+}  // namespace mhx
