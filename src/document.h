@@ -9,8 +9,8 @@
 //   xml/      range-annotating well-formed-XML parser
 //   goddag/   KyGoddag core + RangeIndex interval lookups
 //   xpath/    standard + extended (overlap-aware) axis evaluation
-//   xquery/   query engine (declared; next PR)
-//   regex/    matches()/analyze-string() substrate (declared; next PR)
+//   xquery/   FLWOR query engine over the extended axes + analyze-string()
+//   regex/    Pike-VM regex behind matches()/analyze-string()
 //
 // Typical use:
 //
@@ -77,8 +77,15 @@ class MultihierarchicalDocument {
   goddag::KyGoddag* mutable_goddag() { return goddag_.get(); }
   const std::string& base_text() const { return goddag_->base_text(); }
 
-  // Evaluates an XQuery expression and serialises the result. Currently
-  // returns Unimplemented — the engine is the next PR's tentpole.
+  // Evaluates an XQuery expression and serialises the result sequence
+  // (items concatenate without separators; leaves serialise as their
+  // base-text characters, constructed elements as tags).
+  //
+  // NOT thread-safe despite being const: analyze-string() materialises
+  // temporary virtual hierarchies on the shared KyGoddag (torn down before
+  // returning), and the engine caches parsed queries and compiled
+  // patterns. Concurrent queries need external synchronisation or one
+  // document per thread.
   StatusOr<std::string> Query(std::string_view query) const;
 
   // The query engine bound to this document (created lazily).

@@ -9,6 +9,10 @@ namespace mhx::regex {
 StatusOr<FragmentPattern> TranslateFragmentPattern(std::string_view pattern) {
   FragmentPattern out;
   std::vector<std::string> open_stack;
+  // Inside [...] nothing is markup or a group. Mirrors the regex parser's
+  // class lexing: a ']' directly after '[' or '[^' is a literal member.
+  bool in_class = false;
+  bool class_start = false;
   size_t i = 0;
   while (i < pattern.size()) {
     char c = pattern[i];
@@ -17,7 +21,29 @@ StatusOr<FragmentPattern> TranslateFragmentPattern(std::string_view pattern) {
       out.regex.push_back(pattern[i]);
       out.regex.push_back(pattern[i + 1]);
       i += 2;
+      class_start = false;
       continue;
+    }
+    if (in_class) {
+      if (c == ']' && !class_start) {
+        in_class = false;
+      } else if (!(c == '^' && class_start)) {
+        // '^' right after '[' keeps the start slot open for a literal ']'.
+        class_start = false;
+      }
+      out.regex.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '[') {
+      in_class = true;
+      class_start = true;
+    }
+    if (c == '(') {
+      // A plain capture group written by the user: it consumes a group
+      // number in the residual regex, so record a placeholder to keep
+      // group_names aligned with group numbering.
+      out.group_names.emplace_back();
     }
     if (c != '<') {
       out.regex.push_back(c);

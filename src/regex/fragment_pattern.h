@@ -29,7 +29,10 @@ struct FragmentPattern {
   // The residual regular expression with every fragment element turned into
   // a capture group.
   std::string regex;
-  // Element name per capture group, in group-number order (group i + 1).
+  // Element name per capture group of the residual regex, in group-number
+  // order (group i + 1). A plain capture group the user wrote directly
+  // (e.g. an alternation group) keeps its group number but gets an empty
+  // name — it does not materialise a fragment element.
   std::vector<std::string> group_names;
 };
 

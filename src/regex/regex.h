@@ -1,17 +1,24 @@
 // Copyright (c) mhxq authors. Licensed under the MIT license.
 //
 // The regular-expression substrate behind the XQuery matches() and
-// analyze-string() built-ins. The planned implementation is a Pike-VM style
-// NFA simulation (linear time even on the (a|a)*b pathologies benchmarked in
-// bench_regex.cc) over the XPath/XQuery regex dialect subset: literals,
-// classes, alternation, grouping with captures, and the {m,n} quantifiers.
+// analyze-string() built-ins: a Pike-VM style NFA simulation (linear time
+// even on the (a|a)*b pathologies benchmarked in bench_regex.cc) over the
+// XPath/XQuery regex dialect subset — literals, '.', classes, alternation,
+// grouping with captures, the ^/$ anchors, and the ?/*/+/{m,n} quantifiers.
 //
-// Declared API only for now: Compile returns Unimplemented until the regex
-// PR lands; bench_regex.cc is gated behind MHX_BUILD_ALL_BENCH.
+// Compile parses the pattern into a small AST, then flattens it into a
+// bytecode program (kChar/kClass/kSplit/kJmp/kSave/kMatch plus the two
+// assertions). The matcher advances every live NFA thread one input
+// character at a time, deduplicating threads by program counter, so run time
+// is O(|text| * |program|) regardless of the pattern. Submatches ride along
+// as per-thread save slots; FindAll selects leftmost-longest (POSIX-style)
+// rather than leftmost-first matches.
 
 #ifndef MHX_REGEX_REGEX_H_
 #define MHX_REGEX_REGEX_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +27,53 @@
 #include "base/text_range.h"
 
 namespace mhx::regex {
+
+namespace internal {
+
+// One instruction of the compiled NFA program.
+struct Inst {
+  enum class Op : uint8_t {
+    kChar,         // match the single character `ch`
+    kClass,        // match any character in classes[arg]
+    kAnyChar,      // match any character except '\n'
+    kSplit,        // fork: continue at both next_a (preferred) and next_b
+    kJmp,          // continue at next_a
+    kSave,         // store the current position in save slot `arg`
+    kAssertStart,  // succeed only at position 0
+    kAssertEnd,    // succeed only at end of text
+    kMatch,        // the whole pattern matched
+  };
+  Op op;
+  char ch = 0;
+  uint32_t arg = 0;
+  uint32_t next_a = 0;
+  uint32_t next_b = 0;
+};
+
+// A 256-bit character-set bitmap.
+using CharClass = std::array<uint64_t, 4>;
+
+// One step's worth of runnable threads, in priority order.
+struct ThreadList {
+  std::vector<uint32_t> pcs;
+  std::vector<std::vector<size_t>> saves;
+  void Clear() {
+    pcs.clear();
+    saves.clear();
+  }
+  bool empty() const { return pcs.empty(); }
+};
+
+// Reusable per-scan state. FindAll shares one across its per-match Search
+// calls so the visited-marks array is allocated (and implicitly reset, via
+// the ever-increasing generation counter) only once per scan.
+struct SearchScratch {
+  std::vector<uint64_t> mark;
+  ThreadList clist, nlist;
+  uint64_t generation = 0;
+};
+
+}  // namespace internal
 
 class Regex {
  public:
@@ -48,11 +102,34 @@ class Regex {
   bool FullMatch(std::string_view text) const;
 
   const std::string& pattern() const { return pattern_; }
+  size_t group_count() const { return group_count_; }
+  // Program length — the per-character work bound of the Pike VM.
+  size_t program_size() const { return program_.size(); }
 
  private:
+  struct SearchResult {
+    size_t begin = 0;
+    size_t end = 0;
+    std::vector<size_t> saves;
+  };
+
   explicit Regex(std::string pattern) : pattern_(std::move(pattern)) {}
 
+  // Runs the VM over text[from..). `anchored` admits only threads starting
+  // at `from`; `full` admits only matches ending at text.size(). Returns
+  // false when no match exists. With `first_only` the search stops at the
+  // first completed match (existence tests); otherwise it returns the
+  // leftmost-longest one. `scratch` may be reused across calls.
+  bool Search(std::string_view text, size_t from, bool anchored, bool full,
+              bool first_only, internal::SearchScratch* scratch,
+              SearchResult* out) const;
+
   std::string pattern_;
+  std::vector<internal::Inst> program_;
+  std::vector<internal::CharClass> classes_;
+  size_t group_count_ = 0;
+
+  friend class RegexCompiler;
 };
 
 }  // namespace mhx::regex

@@ -63,6 +63,24 @@ std::string_view AxisName(Axis axis) {
   return "unknown";
 }
 
+bool ExtendedAxisMatches(Axis axis, const TextRange& context,
+                         const TextRange& candidate) {
+  switch (axis) {
+    case Axis::kXAncestor:
+      return candidate.Contains(context);
+    case Axis::kXDescendant:
+      return context.Contains(candidate);
+    case Axis::kOverlapping:
+      return OverlappingRange(context, candidate);
+    case Axis::kXFollowing:
+      return candidate.begin >= context.end;
+    case Axis::kXPreceding:
+      return candidate.end <= context.begin;
+    default:
+      return false;
+  }
+}
+
 StatusOr<Axis> AxisFromName(std::string_view name) {
   static const std::map<std::string_view, Axis> kByName = {
       {"self", Axis::kSelf},
@@ -109,10 +127,17 @@ AxisEvaluator::AxisEvaluator(const KyGoddag* goddag, AxisOptions options)
     : goddag_(goddag), options_(options) {}
 
 const goddag::RangeIndex& AxisEvaluator::index() const {
-  if (index_ == nullptr || index_->revision() != goddag_->revision()) {
+  if (index_ == nullptr ||
+      (!index_pinned_ && index_->revision() != goddag_->revision())) {
     index_ = std::make_unique<goddag::RangeIndex>(goddag_);
+    ++index_rebuild_count_;
   }
   return *index_;
+}
+
+void AxisEvaluator::PinIndex() {
+  index();  // materialise the snapshot before freezing it
+  index_pinned_ = true;
 }
 
 void AxisEvaluator::SortDocumentOrder(std::vector<NodeId>* ids) const {
@@ -134,28 +159,7 @@ void AxisEvaluator::EvaluateExtendedNaive(const GNode& context_node,
     if (id == context) continue;
     const GNode& node = goddag_->node(id);
     if (node.kind != GNodeKind::kElement) continue;
-    const TextRange& r = node.range;
-    bool hit = false;
-    switch (axis) {
-      case Axis::kXAncestor:
-        hit = r.Contains(c);
-        break;
-      case Axis::kXDescendant:
-        hit = c.Contains(r);
-        break;
-      case Axis::kOverlapping:
-        hit = OverlappingRange(c, r);
-        break;
-      case Axis::kXFollowing:
-        hit = r.begin >= c.end;
-        break;
-      case Axis::kXPreceding:
-        hit = r.end <= c.begin;
-        break;
-      default:
-        return;
-    }
-    if (hit) out->push_back(id);
+    if (ExtendedAxisMatches(axis, c, node.range)) out->push_back(id);
   }
 }
 

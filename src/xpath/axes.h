@@ -56,6 +56,14 @@ bool IsExtendedAxis(Axis axis);
 std::string_view AxisName(Axis axis);
 StatusOr<Axis> AxisFromName(std::string_view name);
 
+// The Definition-1 range predicate of one extended axis: does `candidate`
+// stand in `axis` relation to a context with range `context`? Shared by the
+// naive evaluation mode below and by the XQuery engine's delta scan over
+// temporary virtual-hierarchy nodes (which are deliberately kept out of the
+// RangeIndex; see PinIndex).
+bool ExtendedAxisMatches(Axis axis, const TextRange& context,
+                         const TextRange& candidate);
+
 // Node test applied after axis navigation.
 class NodeTest {
  public:
@@ -100,6 +108,21 @@ class AxisEvaluator {
   // The lazily built (and revision-checked) index backing indexed mode.
   const goddag::RangeIndex& index() const;
 
+  // Freezes the index at the current document snapshot: later revision bumps
+  // no longer trigger a rebuild, so temporary virtual hierarchies can come
+  // and go for free. Indexed extended-axis results then cover only nodes
+  // that existed at pin time; the caller owns evaluating the delta (the
+  // XQuery engine scans its temporary nodes with ExtendedAxisMatches).
+  // Builds the index immediately if it does not exist yet.
+  void PinIndex();
+  void UnpinIndex() { index_pinned_ = false; }
+  bool index_pinned() const { return index_pinned_; }
+
+  // Number of RangeIndex constructions this evaluator has paid for — the
+  // observable that proves analyze-string() add/query/remove cycles stay
+  // rebuild-free under a pinned index.
+  size_t index_rebuild_count() const { return index_rebuild_count_; }
+
  private:
   void EvaluateExtendedNaive(const goddag::GNode& context_node,
                              goddag::NodeId context, Axis axis,
@@ -114,6 +137,8 @@ class AxisEvaluator {
   const goddag::KyGoddag* goddag_;
   AxisOptions options_;
   mutable std::unique_ptr<goddag::RangeIndex> index_;
+  mutable size_t index_rebuild_count_ = 0;
+  bool index_pinned_ = false;
 };
 
 }  // namespace mhx::xpath

@@ -2,22 +2,972 @@
 
 #include "xquery/engine.h"
 
+#include <algorithm>
+#include <limits>
+#include <tuple>
+#include <utility>
+
+#include "base/status_macros.h"
+#include "document.h"
+#include "regex/fragment_pattern.h"
+#include "xml/parser.h"
+#include "xquery/ast.h"
+#include "xquery/parser.h"
+
 namespace mhx::xquery {
+
+namespace {
+
+// analyze-string() materialises each call as one virtual hierarchy: a
+// result wrapper spanning the analysed node's range, one <m> element per
+// match, and one element per named fragment group.
+constexpr char kAnalyzeStringResultName[] = "analyze-string-result";
+constexpr char kMatchElementName[] = "m";
+
+Status EvalErrorAt(size_t offset, const std::string& what) {
+  return InvalidArgumentError("XQuery evaluation error at offset " +
+                              std::to_string(offset) + ": " + what);
+}
+
+}  // namespace
+
+// The per-query tree-walking interpreter. One Evaluator runs one query; all
+// cross-query state (pinned axis index, temporary-hierarchy bookkeeping,
+// prepared-query and compiled-regex caches) lives on the Engine.
+class Evaluator {
+ public:
+  // An XDM-style item: a graph node, a leaf of the shared partition, an
+  // atomic value, or a constructed-element fragment (held as its serialised
+  // markup plus its string value — constructed nodes never re-enter axis
+  // navigation in this subset).
+  struct Item {
+    enum class Kind { kNode, kLeaf, kString, kInteger, kBoolean, kFragment };
+    Kind kind = Kind::kString;
+    goddag::NodeId node = goddag::kInvalidNode;
+    TextRange range;   // kLeaf
+    std::string text;  // kString: value; kFragment: serialised markup
+    std::string atom;  // kFragment: string value (concatenated text content)
+    int64_t integer = 0;
+    bool boolean = false;
+
+    static Item Node(goddag::NodeId id) {
+      Item item;
+      item.kind = Kind::kNode;
+      item.node = id;
+      return item;
+    }
+    static Item Leaf(const TextRange& range) {
+      Item item;
+      item.kind = Kind::kLeaf;
+      item.range = range;
+      return item;
+    }
+    static Item String(std::string value) {
+      Item item;
+      item.kind = Kind::kString;
+      item.text = std::move(value);
+      return item;
+    }
+    static Item Integer(int64_t value) {
+      Item item;
+      item.kind = Kind::kInteger;
+      item.integer = value;
+      return item;
+    }
+    static Item Boolean(bool value) {
+      Item item;
+      item.kind = Kind::kBoolean;
+      item.boolean = value;
+      return item;
+    }
+    static Item Fragment(std::string markup, std::string value) {
+      Item item;
+      item.kind = Kind::kFragment;
+      item.text = std::move(markup);
+      item.atom = std::move(value);
+      return item;
+    }
+  };
+  using Sequence = std::vector<Item>;
+
+  explicit Evaluator(Engine* engine)
+      : engine_(engine),
+        goddag_(engine->document()->goddag()),
+        // Temporary virtual hierarchies are query-time scratch state on a
+        // logically const document; they are torn down by
+        // CleanupTemporaries before the result is observable.
+        mutable_goddag_(
+            const_cast<goddag::KyGoddag*>(&engine->document()->goddag())),
+        axes_(engine->axes()) {}
+
+  StatusOr<Sequence> Evaluate(const AstNode& root) {
+    return Eval(root, nullptr);
+  }
+
+  // --- values --------------------------------------------------------------
+
+  std::string StringValue(const Item& item) const {
+    switch (item.kind) {
+      case Item::Kind::kNode:
+        return goddag_.NodeString(item.node);
+      case Item::Kind::kLeaf:
+        return goddag_.base_text().substr(item.range.begin,
+                                          item.range.length());
+      case Item::Kind::kString:
+        return item.text;
+      case Item::Kind::kInteger:
+        return std::to_string(item.integer);
+      case Item::Kind::kBoolean:
+        return item.boolean ? "true" : "false";
+      case Item::Kind::kFragment:
+        return item.atom;
+    }
+    return {};
+  }
+
+  // Serialisation contract (pinned by workload/paper_data.cc): sequence
+  // items concatenate without separators, leaves serialise as their
+  // base-text characters, constructed elements as tags.
+  std::string SerializeItem(const Item& item) const {
+    switch (item.kind) {
+      case Item::Kind::kNode: {
+        std::string out;
+        SerializeNode(item.node, &out);
+        return out;
+      }
+      case Item::Kind::kLeaf:
+      case Item::Kind::kString:
+        return xml::EscapeText(StringValue(item));
+      case Item::Kind::kInteger:
+      case Item::Kind::kBoolean:
+        return StringValue(item);
+      case Item::Kind::kFragment:
+        return item.text;
+    }
+    return {};
+  }
+
+ private:
+  // --- dispatch ------------------------------------------------------------
+
+  StatusOr<Sequence> Eval(const AstNode& node, const Item* context) {
+    switch (node.kind) {
+      case ExprKind::kStringLiteral:
+        return Sequence{Item::String(node.string_value)};
+      case ExprKind::kIntegerLiteral:
+        return Sequence{Item::Integer(node.integer_value)};
+      case ExprKind::kVarRef: {
+        for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+          if (it->first == node.name) return it->second;
+        }
+        return EvalErrorAt(node.offset,
+                           "undefined variable $" + node.name);
+      }
+      case ExprKind::kContextItem:
+        if (context == nullptr) {
+          return EvalErrorAt(node.offset, "no context item for '.'");
+        }
+        return Sequence{*context};
+      case ExprKind::kSequence: {
+        Sequence out;
+        for (const auto& child : node.children) {
+          MHX_ASSIGN_OR_RETURN(Sequence part, Eval(*child, context));
+          std::move(part.begin(), part.end(), std::back_inserter(out));
+        }
+        return out;
+      }
+      case ExprKind::kFor: {
+        MHX_ASSIGN_OR_RETURN(Sequence seq, Eval(*node.children[0], context));
+        Sequence out;
+        for (Item& item : seq) {
+          bindings_.emplace_back(node.name, Sequence{std::move(item)});
+          auto body = Eval(*node.children[1], context);
+          bindings_.pop_back();
+          if (!body.ok()) return body.status();
+          std::move(body->begin(), body->end(), std::back_inserter(out));
+        }
+        return out;
+      }
+      case ExprKind::kLet: {
+        MHX_ASSIGN_OR_RETURN(Sequence value, Eval(*node.children[0], context));
+        bindings_.emplace_back(node.name, std::move(value));
+        auto body = Eval(*node.children[1], context);
+        bindings_.pop_back();
+        return body;
+      }
+      case ExprKind::kQuantified: {
+        MHX_ASSIGN_OR_RETURN(Sequence seq, Eval(*node.children[0], context));
+        for (Item& item : seq) {
+          bindings_.emplace_back(node.name, Sequence{std::move(item)});
+          auto body = Eval(*node.children[1], context);
+          bindings_.pop_back();
+          if (!body.ok()) return body.status();
+          MHX_ASSIGN_OR_RETURN(bool value,
+                               BooleanValue(*body, node.children[1]->offset));
+          if (value != node.every) {
+            return Sequence{Item::Boolean(!node.every)};
+          }
+        }
+        return Sequence{Item::Boolean(node.every)};
+      }
+      case ExprKind::kIf: {
+        MHX_ASSIGN_OR_RETURN(Sequence cond, Eval(*node.children[0], context));
+        MHX_ASSIGN_OR_RETURN(bool value,
+                             BooleanValue(cond, node.children[0]->offset));
+        return Eval(*node.children[value ? 1 : 2], context);
+      }
+      case ExprKind::kOr:
+      case ExprKind::kAnd: {
+        const bool is_or = node.kind == ExprKind::kOr;
+        for (const auto& child : node.children) {
+          MHX_ASSIGN_OR_RETURN(Sequence v, Eval(*child, context));
+          MHX_ASSIGN_OR_RETURN(bool value, BooleanValue(v, child->offset));
+          if (value == is_or) return Sequence{Item::Boolean(is_or)};
+        }
+        return Sequence{Item::Boolean(!is_or)};
+      }
+      case ExprKind::kCompare:
+        return EvalCompare(node, context);
+      case ExprKind::kArith: {
+        MHX_ASSIGN_OR_RETURN(int64_t lhs,
+                             IntegerOperand(*node.children[0], context));
+        MHX_ASSIGN_OR_RETURN(int64_t rhs,
+                             IntegerOperand(*node.children[1], context));
+        int64_t value = 0;
+        switch (node.arith_op) {
+          case ArithOp::kAdd:
+            value = lhs + rhs;
+            break;
+          case ArithOp::kSub:
+            value = lhs - rhs;
+            break;
+          case ArithOp::kMul:
+            value = lhs * rhs;
+            break;
+        }
+        return Sequence{Item::Integer(value)};
+      }
+      case ExprKind::kPath:
+        return EvalPath(node, context);
+      case ExprKind::kFunctionCall:
+        return EvalFunction(node, context);
+      case ExprKind::kConstructor:
+        return EvalConstructor(node, context);
+    }
+    return EvalErrorAt(node.offset, "unhandled expression kind");
+  }
+
+  // --- booleans, comparisons, arithmetic -----------------------------------
+
+  StatusOr<bool> BooleanValue(const Sequence& seq, size_t offset) const {
+    if (seq.empty()) return false;
+    const Item& first = seq.front();
+    if (first.kind == Item::Kind::kNode || first.kind == Item::Kind::kLeaf ||
+        first.kind == Item::Kind::kFragment) {
+      return true;
+    }
+    if (seq.size() == 1) {
+      switch (first.kind) {
+        case Item::Kind::kString:
+          return !first.text.empty();
+        case Item::Kind::kInteger:
+          return first.integer != 0;
+        case Item::Kind::kBoolean:
+          return first.boolean;
+        default:
+          break;
+      }
+    }
+    return EvalErrorAt(offset,
+                       "no effective boolean value for a sequence of " +
+                           std::to_string(seq.size()) + " atomic items");
+  }
+
+  // Numeric view of an item for comparisons: integers directly, any other
+  // item through its string value if that is (all of) an integer literal.
+  bool TryIntegerValue(const Item& item, int64_t* out) const {
+    if (item.kind == Item::Kind::kInteger) {
+      *out = item.integer;
+      return true;
+    }
+    if (item.kind == Item::Kind::kBoolean) return false;
+    const std::string s = StringValue(item);
+    size_t i = s.size() && (s[0] == '-' || s[0] == '+') ? 1 : 0;
+    if (i == s.size()) return false;
+    int64_t value = 0;
+    constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+    for (; i < s.size(); ++i) {
+      if (s[i] < '0' || s[i] > '9') return false;
+      const int64_t digit = s[i] - '0';
+      if (value > (kMax - digit) / 10) return false;
+      value = value * 10 + digit;
+    }
+    *out = s[0] == '-' ? -value : value;
+    return true;
+  }
+
+  StatusOr<Sequence> EvalCompare(const AstNode& node, const Item* context) {
+    MHX_ASSIGN_OR_RETURN(Sequence lhs, Eval(*node.children[0], context));
+    MHX_ASSIGN_OR_RETURN(Sequence rhs, Eval(*node.children[1], context));
+    // General (existential) comparison over atomised items. XPath-style
+    // coercion: when either side is a number, compare numerically (a pair
+    // whose other side is not numeric compares like NaN — never true,
+    // except under !=).
+    for (const Item& a : lhs) {
+      for (const Item& b : rhs) {
+        int cmp;
+        if (a.kind == Item::Kind::kInteger ||
+            b.kind == Item::Kind::kInteger) {
+          int64_t x, y;
+          if (!TryIntegerValue(a, &x) || !TryIntegerValue(b, &y)) {
+            if (node.compare_op == CompareOp::kNe) {
+              return Sequence{Item::Boolean(true)};
+            }
+            continue;
+          }
+          cmp = x < y ? -1 : x > y ? 1 : 0;
+        } else {
+          cmp = StringValue(a).compare(StringValue(b));
+          cmp = cmp < 0 ? -1 : cmp > 0 ? 1 : 0;
+        }
+        bool hit = false;
+        switch (node.compare_op) {
+          case CompareOp::kEq:
+            hit = cmp == 0;
+            break;
+          case CompareOp::kNe:
+            hit = cmp != 0;
+            break;
+          case CompareOp::kLt:
+            hit = cmp < 0;
+            break;
+          case CompareOp::kLe:
+            hit = cmp <= 0;
+            break;
+          case CompareOp::kGt:
+            hit = cmp > 0;
+            break;
+          case CompareOp::kGe:
+            hit = cmp >= 0;
+            break;
+        }
+        if (hit) return Sequence{Item::Boolean(true)};
+      }
+    }
+    return Sequence{Item::Boolean(false)};
+  }
+
+  StatusOr<int64_t> IntegerOperand(const AstNode& node, const Item* context) {
+    MHX_ASSIGN_OR_RETURN(Sequence seq, Eval(node, context));
+    if (seq.size() != 1 || seq[0].kind != Item::Kind::kInteger) {
+      return EvalErrorAt(node.offset,
+                         "arithmetic requires a single integer operand");
+    }
+    return seq[0].integer;
+  }
+
+  // --- paths ---------------------------------------------------------------
+
+  StatusOr<Sequence> EvalPath(const AstNode& path, const Item* context) {
+    Sequence current;
+    size_t step_index = 0;
+    if (path.absolute) {
+      current.push_back(Item::Node(goddag_.root()));
+    } else if (path.steps[0].primary != nullptr) {
+      const PathStep& first = path.steps[0];
+      MHX_ASSIGN_OR_RETURN(current, Eval(*first.primary, context));
+      MHX_RETURN_IF_ERROR(ApplyPredicates(first, path.offset, &current));
+      step_index = 1;
+    } else {
+      if (context == nullptr) {
+        return EvalErrorAt(path.offset,
+                           "relative path without a context item");
+      }
+      current.push_back(*context);
+    }
+    for (; step_index < path.steps.size(); ++step_index) {
+      const PathStep& step = path.steps[step_index];
+      Sequence next;
+      // Predicates are positional *per context node* (XPath semantics):
+      // each context's step result is ordered and filtered on its own, and
+      // only then merged (with a final dedup + document-order sort).
+      for (const Item& item : current) {
+        Sequence from_item;
+        MHX_RETURN_IF_ERROR(EvalStep(item, step, path.offset, &from_item));
+        SortAndDedup(&from_item);
+        MHX_RETURN_IF_ERROR(ApplyPredicates(step, path.offset, &from_item));
+        std::move(from_item.begin(), from_item.end(),
+                  std::back_inserter(next));
+      }
+      SortAndDedup(&next);
+      current = std::move(next);
+    }
+    return current;
+  }
+
+  Status ApplyPredicates(const PathStep& step, size_t offset,
+                         Sequence* items) {
+    for (const auto& pred : step.predicates) {
+      Sequence kept;
+      for (size_t i = 0; i < items->size(); ++i) {
+        Item& item = (*items)[i];
+        MHX_ASSIGN_OR_RETURN(Sequence v, Eval(*pred, &item));
+        bool keep;
+        if (v.size() == 1 && v[0].kind == Item::Kind::kInteger) {
+          // Numeric predicate = positional test.
+          keep = v[0].integer == static_cast<int64_t>(i) + 1;
+        } else {
+          MHX_ASSIGN_OR_RETURN(keep, BooleanValue(v, pred->offset));
+        }
+        if (keep) kept.push_back(std::move(item));
+      }
+      *items = std::move(kept);
+    }
+    (void)offset;
+    return OkStatus();
+  }
+
+  Status EvalStep(const Item& item, const PathStep& step, size_t offset,
+                  Sequence* out) {
+    if (step.test == PathStep::Test::kLeaf) {
+      return EvalLeafStep(item, step, offset, out);
+    }
+    xpath::NodeTest test = step.test == PathStep::Test::kName
+                               ? xpath::NodeTest::Name(step.name)
+                               : xpath::NodeTest::Any();
+    std::vector<goddag::NodeId> ids;
+    if (item.kind == Item::Kind::kNode) {
+      ids = axes_.Evaluate(item.node, step.axis, test);
+      if (xpath::IsExtendedAxis(step.axis)) {
+        // The pinned index never sees temporary virtual hierarchies; scan
+        // the delta naively (it is tiny next to the persistent document).
+        AppendTemporaryMatches(step.axis, goddag_.node(item.node).range,
+                               item.node, test, &ids);
+      }
+    } else if (item.kind == Item::Kind::kLeaf) {
+      MHX_RETURN_IF_ERROR(LeafContextStep(item.range, step.axis, offset, &ids));
+      ids.erase(std::remove_if(ids.begin(), ids.end(),
+                               [&](goddag::NodeId id) {
+                                 return !test.Matches(goddag_.node(id));
+                               }),
+                ids.end());
+    } else {
+      return EvalErrorAt(offset, "path step over an atomic value");
+    }
+    if (step.test == PathStep::Test::kAnyElement) {
+      ids.erase(std::remove_if(ids.begin(), ids.end(),
+                               [&](goddag::NodeId id) {
+                                 return goddag_.node(id).kind !=
+                                        goddag::GNodeKind::kElement;
+                               }),
+                ids.end());
+    }
+    out->reserve(out->size() + ids.size());
+    for (goddag::NodeId id : ids) out->push_back(Item::Node(id));
+    return OkStatus();
+  }
+
+  // Axis evaluation from a leaf context. A leaf belongs to every hierarchy,
+  // so `ancestor` coincides with `xancestor` (nodes whose range contains the
+  // leaf); the ordering and overlap axes reduce to range queries. A node
+  // properly overlapping a leaf cannot exist (its boundary would have split
+  // the leaf), so `overlapping` is always empty — computed anyway for
+  // uniformity.
+  Status LeafContextStep(const TextRange& range, xpath::Axis axis,
+                         size_t offset, std::vector<goddag::NodeId>* ids) {
+    const goddag::RangeIndex& index = axes_.index();
+    xpath::Axis extended;
+    switch (axis) {
+      case xpath::Axis::kAncestor:
+      case xpath::Axis::kAncestorOrSelf:
+      case xpath::Axis::kXAncestor:
+        *ids = index.NodesContaining(range);
+        extended = xpath::Axis::kXAncestor;
+        break;
+      case xpath::Axis::kXDescendant:
+        *ids = index.NodesContainedIn(range);
+        extended = xpath::Axis::kXDescendant;
+        break;
+      case xpath::Axis::kOverlapping:
+        *ids = index.NodesOverlapping(range);
+        extended = xpath::Axis::kOverlapping;
+        break;
+      case xpath::Axis::kFollowing:
+      case xpath::Axis::kXFollowing:
+        *ids = index.NodesBeginningAtOrAfter(range.end);
+        extended = xpath::Axis::kXFollowing;
+        break;
+      case xpath::Axis::kPreceding:
+      case xpath::Axis::kXPreceding:
+        *ids = index.NodesEndingAtOrBefore(range.begin);
+        extended = xpath::Axis::kXPreceding;
+        break;
+      default:
+        return EvalErrorAt(offset, "axis " +
+                                       std::string(xpath::AxisName(axis)) +
+                                       " cannot start from a leaf");
+    }
+    AppendTemporaryMatches(extended, range, goddag::kInvalidNode,
+                           xpath::NodeTest::Any(), ids);
+    return OkStatus();
+  }
+
+  void AppendTemporaryMatches(xpath::Axis axis, const TextRange& context,
+                              goddag::NodeId exclude,
+                              const xpath::NodeTest& test,
+                              std::vector<goddag::NodeId>* ids) const {
+    for (goddag::NodeId id : engine_->temp_nodes_) {
+      if (id == exclude) continue;
+      const goddag::GNode& node = goddag_.node(id);
+      if (node.kind != goddag::GNodeKind::kElement) continue;
+      if (!xpath::ExtendedAxisMatches(axis, context, node.range)) continue;
+      if (!test.Matches(node)) continue;
+      ids->push_back(id);
+    }
+  }
+
+  Status EvalLeafStep(const Item& item, const PathStep& step, size_t offset,
+                      Sequence* out) {
+    switch (step.axis) {
+      case xpath::Axis::kSelf:
+        if (item.kind == Item::Kind::kLeaf) out->push_back(item);
+        return OkStatus();
+      case xpath::Axis::kDescendant:
+      case xpath::Axis::kDescendantOrSelf:
+      case xpath::Axis::kXDescendant: {
+        if (item.kind == Item::Kind::kLeaf) {
+          out->push_back(item);  // a leaf contains exactly itself
+          return OkStatus();
+        }
+        if (item.kind != Item::Kind::kNode) {
+          return EvalErrorAt(offset, "leaf() step over an atomic value");
+        }
+        AppendLeavesIn(goddag_.node(item.node).range, out);
+        return OkStatus();
+      }
+      case xpath::Axis::kChild: {
+        if (item.kind != Item::Kind::kNode) return OkStatus();
+        // Leaves directly dominated: within the node's range but not inside
+        // any of its element children.
+        const goddag::GNode& node = goddag_.node(item.node);
+        Sequence all;
+        AppendLeavesIn(node.range, &all);
+        for (const Item& leaf : all) {
+          bool in_child = false;
+          for (goddag::NodeId child : node.children) {
+            if (goddag_.node(child).range.Contains(leaf.range)) {
+              in_child = true;
+              break;
+            }
+          }
+          if (!in_child) out->push_back(leaf);
+        }
+        return OkStatus();
+      }
+      default:
+        return EvalErrorAt(
+            offset, "leaf() node test is not supported on axis " +
+                        std::string(xpath::AxisName(step.axis)));
+    }
+  }
+
+  void AppendLeavesIn(const TextRange& range, Sequence* out) const {
+    if (range.empty()) return;
+    const std::vector<goddag::Leaf>& leaves = goddag_.leaves();
+    auto it = std::lower_bound(
+        leaves.begin(), leaves.end(), range.begin,
+        [](const goddag::Leaf& leaf, size_t pos) {
+          return leaf.range.begin < pos;
+        });
+    // Node boundaries are leaf boundaries, so leaves tile `range` exactly.
+    for (; it != leaves.end() && it->range.end <= range.end; ++it) {
+      out->push_back(Item::Leaf(it->range));
+    }
+  }
+
+  // Document order over mixed node/leaf sequences: begin ascending, longer
+  // range first, elements before the leaf sharing their range, NodeId as the
+  // final tiebreak. Duplicates (same node / same leaf reached from several
+  // context items) collapse.
+  void SortAndDedup(Sequence* items) const {
+    auto key = [this](const Item& item) {
+      const TextRange& r = item.kind == Item::Kind::kNode
+                               ? goddag_.node(item.node).range
+                               : item.range;
+      const int rank = item.kind == Item::Kind::kNode ? 0 : 1;
+      const goddag::NodeId id =
+          item.kind == Item::Kind::kNode ? item.node : 0;
+      return std::tuple<size_t, size_t, int, goddag::NodeId>(
+          r.begin, ~r.end, rank, id);  // ~end: longer ranges sort first
+    };
+    std::sort(items->begin(), items->end(),
+              [&](const Item& a, const Item& b) { return key(a) < key(b); });
+    items->erase(std::unique(items->begin(), items->end(),
+                             [&](const Item& a, const Item& b) {
+                               if (a.kind != b.kind) return false;
+                               if (a.kind == Item::Kind::kNode) {
+                                 return a.node == b.node;
+                               }
+                               return a.range == b.range;
+                             }),
+                 items->end());
+  }
+
+  // --- functions -----------------------------------------------------------
+
+  StatusOr<Sequence> EvalFunction(const AstNode& node, const Item* context) {
+    const std::string& name = node.name;
+    const size_t arity = node.children.size();
+    auto arg_or_context = [&](size_t i) -> StatusOr<Sequence> {
+      if (i < arity) return Eval(*node.children[i], context);
+      if (context == nullptr) {
+        return EvalErrorAt(node.offset, "no context item for " + name + "()");
+      }
+      return Sequence{*context};
+    };
+
+    if (name == "string" && arity <= 1) {
+      MHX_ASSIGN_OR_RETURN(Sequence arg, arg_or_context(0));
+      return Sequence{
+          Item::String(arg.empty() ? std::string() : StringValue(arg[0]))};
+    }
+    if (name == "string-length" && arity <= 1) {
+      MHX_ASSIGN_OR_RETURN(Sequence arg, arg_or_context(0));
+      const size_t length =
+          arg.empty() ? 0 : StringValue(arg[0]).size();
+      return Sequence{Item::Integer(static_cast<int64_t>(length))};
+    }
+    if (name == "count" && arity == 1) {
+      MHX_ASSIGN_OR_RETURN(Sequence arg, Eval(*node.children[0], context));
+      return Sequence{Item::Integer(static_cast<int64_t>(arg.size()))};
+    }
+    if (name == "name" && arity <= 1) {
+      MHX_ASSIGN_OR_RETURN(Sequence arg, arg_or_context(0));
+      std::string value;
+      if (!arg.empty() && arg[0].kind == Item::Kind::kNode) {
+        value = goddag_.node(arg[0].node).name;
+      }
+      return Sequence{Item::String(std::move(value))};
+    }
+    if (name == "not" && arity == 1) {
+      MHX_ASSIGN_OR_RETURN(Sequence arg, Eval(*node.children[0], context));
+      MHX_ASSIGN_OR_RETURN(bool value,
+                           BooleanValue(arg, node.children[0]->offset));
+      return Sequence{Item::Boolean(!value)};
+    }
+    if (name == "true" && arity == 0) return Sequence{Item::Boolean(true)};
+    if (name == "false" && arity == 0) return Sequence{Item::Boolean(false)};
+    if (name == "matches" && arity == 2) {
+      MHX_ASSIGN_OR_RETURN(Sequence subject, Eval(*node.children[0], context));
+      MHX_ASSIGN_OR_RETURN(std::string pattern,
+                           SingletonString(*node.children[1], context));
+      MHX_ASSIGN_OR_RETURN(const regex::Regex* re,
+                           CompiledRegex(pattern, node.offset));
+      const std::string value =
+          subject.empty() ? std::string() : StringValue(subject[0]);
+      return Sequence{Item::Boolean(re->ContainsMatch(value))};
+    }
+    if (name == "analyze-string" && arity == 2) {
+      return EvalAnalyzeString(node, context);
+    }
+    return EvalErrorAt(node.offset, "unknown function " + name + "() with " +
+                                        std::to_string(arity) + " argument" +
+                                        (arity == 1 ? "" : "s"));
+  }
+
+  StatusOr<std::string> SingletonString(const AstNode& node,
+                                        const Item* context) {
+    MHX_ASSIGN_OR_RETURN(Sequence seq, Eval(node, context));
+    if (seq.size() != 1) {
+      return EvalErrorAt(node.offset, "expected a single string");
+    }
+    return StringValue(seq[0]);
+  }
+
+  StatusOr<const regex::Regex*> CompiledRegex(const std::string& pattern,
+                                              size_t offset) {
+    auto it = engine_->regex_cache_.find(pattern);
+    if (it == engine_->regex_cache_.end()) {
+      auto compiled = regex::Regex::Compile(pattern);
+      if (!compiled.ok()) {
+        return EvalErrorAt(offset, compiled.status().message());
+      }
+      it = engine_->regex_cache_
+               .emplace(pattern, std::move(compiled).value())
+               .first;
+    }
+    return &it->second;
+  }
+
+  // The paper's analyze-string(): match a fragment pattern against the
+  // string of a node and materialise every match — and every named fragment
+  // group — as a temporary virtual hierarchy over the node's base-text
+  // range. Returns the result wrapper element, whose leaf() descendants are
+  // the analysed range re-partitioned by the match boundaries.
+  StatusOr<Sequence> EvalAnalyzeString(const AstNode& node,
+                                       const Item* context) {
+    MHX_ASSIGN_OR_RETURN(Sequence target, Eval(*node.children[0], context));
+    if (target.size() != 1 || (target[0].kind != Item::Kind::kNode &&
+                               target[0].kind != Item::Kind::kLeaf)) {
+      return EvalErrorAt(node.offset,
+                         "analyze-string() requires a single node");
+    }
+    const TextRange range = target[0].kind == Item::Kind::kNode
+                                ? goddag_.node(target[0].node).range
+                                : target[0].range;
+    MHX_ASSIGN_OR_RETURN(std::string pattern,
+                         SingletonString(*node.children[1], context));
+
+    const std::string core = regex::StripContextWildcards(pattern);
+    auto fragment = regex::TranslateFragmentPattern(core);
+    if (!fragment.ok()) {
+      return EvalErrorAt(node.offset, fragment.status().message());
+    }
+    MHX_ASSIGN_OR_RETURN(const regex::Regex* re,
+                         CompiledRegex(fragment->regex, node.offset));
+
+    const std::string_view text =
+        std::string_view(goddag_.base_text())
+            .substr(range.begin, range.length());
+    std::vector<goddag::VirtualElement> elements;
+    elements.push_back(
+        goddag::VirtualElement{kAnalyzeStringResultName, range, {}});
+    for (const regex::Regex::Match& m : re->FindAll(text)) {
+      if (!m.range.empty()) {
+        elements.push_back(goddag::VirtualElement{
+            kMatchElementName,
+            TextRange(range.begin + m.range.begin, range.begin + m.range.end),
+            {}});
+      }
+      // group_names is aligned with the residual regex's group numbering;
+      // empty names are plain user groups, which materialise nothing.
+      const size_t group_limit =
+          std::min(m.groups.size(), fragment->group_names.size());
+      for (size_t g = 0; g < group_limit; ++g) {
+        if (m.groups[g].empty() || fragment->group_names[g].empty()) continue;
+        elements.push_back(goddag::VirtualElement{
+            fragment->group_names[g],
+            TextRange(range.begin + m.groups[g].begin,
+                      range.begin + m.groups[g].end),
+            {}});
+      }
+    }
+    auto hid = mutable_goddag_->AddVirtualHierarchy(kAnalyzeStringResultName,
+                                                    std::move(elements));
+    if (!hid.ok()) return EvalErrorAt(node.offset, hid.status().message());
+    // Our own mutation: keep the pinned snapshot's revision bookkeeping in
+    // step so it is not mistaken for an external document change.
+    engine_->pinned_revision_ = goddag_.revision();
+    engine_->temp_hierarchies_.push_back(*hid);
+    const goddag::Hierarchy& h = goddag_.hierarchy(*hid);
+    goddag::NodeId wrapper = goddag::kInvalidNode;
+    for (goddag::NodeId id : h.nodes) {
+      // The hierarchy's auto-created root spans the whole base text; it is
+      // plumbing, not a result, so keep it out of the delta scan — it would
+      // otherwise show up as an xancestor of every leaf in the document.
+      if (id == h.root) continue;
+      engine_->temp_nodes_.push_back(id);
+      if (wrapper == goddag::kInvalidNode) {
+        const goddag::GNode& n = goddag_.node(id);
+        if (n.name == kAnalyzeStringResultName && n.range == range) {
+          wrapper = id;
+        }
+      }
+    }
+    if (wrapper == goddag::kInvalidNode) {
+      return InternalError("analyze-string() lost its result wrapper");
+    }
+    return Sequence{Item::Node(wrapper)};
+  }
+
+  // --- constructors --------------------------------------------------------
+
+  StatusOr<Sequence> EvalConstructor(const AstNode& node,
+                                     const Item* context) {
+    std::string markup = "<" + node.name;
+    for (const ConstructorAttribute& attr : node.attributes) {
+      markup += " " + attr.name + "=\"";
+      for (const ConstructorPart& part : attr.parts) {
+        if (part.expr == nullptr) {
+          markup += xml::EscapeText(part.text);
+          continue;
+        }
+        MHX_ASSIGN_OR_RETURN(Sequence v, Eval(*part.expr, context));
+        std::string joined;
+        for (size_t i = 0; i < v.size(); ++i) {
+          if (i > 0) joined += " ";
+          joined += StringValue(v[i]);
+        }
+        markup += xml::EscapeText(joined);
+      }
+      markup += "\"";
+    }
+    if (node.content.empty()) {
+      markup += "/>";
+      return Sequence{Item::Fragment(std::move(markup), "")};
+    }
+    markup += ">";
+    std::string value;
+    for (const ConstructorPart& part : node.content) {
+      if (part.expr == nullptr) {
+        markup += xml::EscapeText(part.text);
+        value += part.text;
+        continue;
+      }
+      MHX_ASSIGN_OR_RETURN(Sequence v, Eval(*part.expr, context));
+      for (const Item& item : v) {
+        markup += SerializeItem(item);
+        value += StringValue(item);
+      }
+    }
+    markup += "</" + node.name + ">";
+    return Sequence{Item::Fragment(std::move(markup), std::move(value))};
+  }
+
+  // --- node serialisation --------------------------------------------------
+
+  void SerializeNode(goddag::NodeId id, std::string* out) const {
+    const goddag::GNode& node = goddag_.node(id);
+    if (node.kind == goddag::GNodeKind::kRoot) {
+      // The GODDAG root serialises as its hierarchy roots in order.
+      for (goddag::NodeId child : node.children) SerializeNode(child, out);
+      return;
+    }
+    const std::string& text = goddag_.base_text();
+    *out += "<" + node.name;
+    for (const auto& [attr_name, attr_value] : node.attributes) {
+      *out += " " + attr_name + "=\"" + xml::EscapeText(attr_value) + "\"";
+    }
+    if (node.children.empty() && node.range.empty()) {
+      *out += "/>";
+      return;
+    }
+    *out += ">";
+    size_t pos = node.range.begin;
+    for (goddag::NodeId child : node.children) {
+      const TextRange& child_range = goddag_.node(child).range;
+      *out += xml::EscapeText(
+          std::string_view(text).substr(pos, child_range.begin - pos));
+      SerializeNode(child, out);
+      pos = child_range.end;
+    }
+    *out += xml::EscapeText(
+        std::string_view(text).substr(pos, node.range.end - pos));
+    *out += "</" + node.name + ">";
+  }
+
+  Engine* engine_;
+  const goddag::KyGoddag& goddag_;
+  goddag::KyGoddag* mutable_goddag_;
+  const xpath::AxisEvaluator& axes_;
+  std::vector<std::pair<std::string, Sequence>> bindings_;
+};
+
+// --- Engine ----------------------------------------------------------------
 
 Engine::Engine(const MultihierarchicalDocument* document)
     : document_(document) {}
 
-StatusOr<std::string> Engine::Evaluate(std::string_view /*query*/) {
-  return UnimplementedError(
-      "XQuery evaluation is not implemented yet; gate callers behind "
-      "MHX_BUILD_ALL_BENCH until the engine lands");
+Engine::~Engine() { CleanupTemporaries(); }
+
+const xpath::AxisEvaluator& Engine::axes() {
+  if (axes_ == nullptr) {
+    axes_ = std::make_unique<xpath::AxisEvaluator>(&document_->goddag());
+    // Freeze the index at the persistent snapshot; temporary virtual
+    // hierarchies are evaluated by delta scan, never indexed.
+    axes_->PinIndex();
+    pinned_revision_ = document_->goddag().revision();
+  } else if (document_->goddag().revision() != pinned_revision_) {
+    // The document was mutated directly (mutable_goddag()) since the pin —
+    // the engine's own temporaries keep pinned_revision_ in step, so this
+    // is an external change. Rebuild the snapshot once. Kept temporaries
+    // end up both indexed and delta-scanned, which is harmless while they
+    // live (step results dedup by node id); snapshot_has_temporaries_
+    // makes their eventual removal repin (see CleanupTemporariesFrom).
+    axes_->UnpinIndex();
+    axes_->PinIndex();
+    pinned_revision_ = document_->goddag().revision();
+    snapshot_has_temporaries_ = !temp_hierarchies_.empty();
+  }
+  return *axes_;
+}
+
+size_t Engine::index_rebuild_count() const {
+  return axes_ == nullptr ? 0 : axes_->index_rebuild_count();
+}
+
+StatusOr<std::vector<std::string>> Engine::EvaluateInternal(
+    std::string_view query, bool keep_temporaries) {
+  auto it = query_cache_.find(query);
+  if (it == query_cache_.end()) {
+    auto parsed = ParseQuery(query);
+    if (!parsed.ok()) return parsed.status();
+    it = query_cache_
+             .emplace(std::string(query), std::move(parsed).value())
+             .first;
+  }
+  // Pin the axis index before any temporaries can exist, so the snapshot
+  // only ever covers persistent nodes.
+  axes();
+  // Tear down only this evaluation's temporaries — hierarchies kept alive
+  // by an earlier EvaluateKeepingTemporaries stay until the caller's
+  // CleanupTemporaries.
+  const size_t hierarchy_mark = temp_hierarchies_.size();
+  const size_t node_mark = temp_nodes_.size();
+  Evaluator evaluator(this);
+  auto result = evaluator.Evaluate(it->second->root());
+  if (!result.ok()) {
+    CleanupTemporariesFrom(hierarchy_mark, node_mark);
+    return result.status();
+  }
+  // Serialise before teardown: node items may live in temporary
+  // hierarchies.
+  std::vector<std::string> serialized;
+  serialized.reserve(result->size());
+  for (const Evaluator::Item& item : *result) {
+    serialized.push_back(evaluator.SerializeItem(item));
+  }
+  if (!keep_temporaries) CleanupTemporariesFrom(hierarchy_mark, node_mark);
+  return serialized;
+}
+
+StatusOr<std::string> Engine::Evaluate(std::string_view query) {
+  MHX_ASSIGN_OR_RETURN(std::vector<std::string> items,
+                       EvaluateInternal(query, /*keep_temporaries=*/false));
+  std::string out;
+  for (const std::string& item : items) out += item;
+  return out;
 }
 
 StatusOr<std::vector<std::string>> Engine::EvaluateKeepingTemporaries(
-    std::string_view /*query*/) {
-  return UnimplementedError("XQuery evaluation is not implemented yet");
+    std::string_view query) {
+  return EvaluateInternal(query, /*keep_temporaries=*/true);
 }
 
-void Engine::CleanupTemporaries() {}
+void Engine::CleanupTemporaries() { CleanupTemporariesFrom(0, 0); }
+
+void Engine::CleanupTemporariesFrom(size_t hierarchy_mark, size_t node_mark) {
+  if (temp_hierarchies_.size() <= hierarchy_mark) return;
+  auto* goddag = const_cast<goddag::KyGoddag*>(&document_->goddag());
+  for (size_t i = hierarchy_mark; i < temp_hierarchies_.size(); ++i) {
+    // Removal can only fail for ids we did not create; ignore defensively.
+    Status status = goddag->RemoveVirtualHierarchy(temp_hierarchies_[i]);
+    (void)status;
+  }
+  temp_hierarchies_.resize(hierarchy_mark);
+  temp_nodes_.resize(node_mark);
+  // Our own mutations; see axes().
+  pinned_revision_ = document_->goddag().revision();
+  if (snapshot_has_temporaries_ && axes_ != nullptr) {
+    // The snapshot indexed some of the nodes just freed; their slots will
+    // be recycled by later analyze-string() calls, so rebuild now rather
+    // than serve stale entries. Unreachable in the common pin-then-query
+    // lifecycle, where the snapshot predates every temporary.
+    axes_->UnpinIndex();
+    axes_->PinIndex();
+    pinned_revision_ = document_->goddag().revision();
+    snapshot_has_temporaries_ = !temp_hierarchies_.empty();
+  }
+}
 
 }  // namespace mhx::xquery

@@ -7,18 +7,33 @@
 // KeepingTemporaries/CleanupTemporaries pair, letting benchmarks separate
 // evaluation cost from virtual-hierarchy teardown).
 //
-// This layer is declared as part of the public API but not yet implemented;
-// every evaluation entry point returns Unimplemented. Implementing it is the
-// next PR's tentpole (see ROADMAP.md).
+// Index discipline: the engine pins its AxisEvaluator's RangeIndex to the
+// persistent document snapshot the first time it evaluates. Temporary
+// virtual hierarchies created by analyze-string() never enter the index —
+// extended-axis steps evaluate them with a naive delta scan over the
+// engine's temporary-node list instead. The add/query/remove cycle of every
+// analyze-string() call therefore costs zero O(N log N) index rebuilds;
+// index_rebuild_count() (at most 1 per engine) is the proof, surfaced as a
+// benchmark counter in bench_paper_queries.cc.
+//
+// Not thread-safe: evaluation mutates the (logically const) document's
+// KyGoddag through analyze-string() temporaries and fills the
+// prepared-query/compiled-pattern caches. Serialise concurrent use
+// externally, or give each thread its own document.
 
 #ifndef MHX_XQUERY_ENGINE_H_
 #define MHX_XQUERY_ENGINE_H_
 
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "base/statusor.h"
+#include "goddag/kygoddag.h"
+#include "regex/regex.h"
+#include "xpath/axes.h"
 
 namespace mhx {
 class MultihierarchicalDocument;
@@ -26,11 +41,17 @@ class MultihierarchicalDocument;
 
 namespace mhx::xquery {
 
+class Expr;
+class Evaluator;
+
 class Engine {
  public:
   explicit Engine(const MultihierarchicalDocument* document);
+  ~Engine();
 
-  // Evaluates a query and serialises the result sequence.
+  // Evaluates a query and serialises the result sequence (items are
+  // concatenated without separators; leaves serialise as their base-text
+  // characters, constructed elements as tags).
   StatusOr<std::string> Evaluate(std::string_view query);
 
   // Evaluates a query but keeps any virtual hierarchies created by
@@ -44,8 +65,19 @@ class Engine {
 
   const MultihierarchicalDocument* document() const { return document_; }
 
+  // RangeIndex constructions this engine has paid for — stays at one no
+  // matter how many analyze-string() add/query/remove cycles have run.
+  size_t index_rebuild_count() const;
+
+  // Temporary virtual hierarchies currently alive (nonzero only between
+  // EvaluateKeepingTemporaries and CleanupTemporaries).
+  size_t temporary_hierarchy_count() const {
+    return temp_hierarchies_.size();
+  }
+
  private:
   friend class mhx::MultihierarchicalDocument;
+  friend class Evaluator;
 
   // Called by the document's move operations to keep the back-reference
   // valid.
@@ -53,7 +85,42 @@ class Engine {
     document_ = document;
   }
 
+  // Parses `query` (or retrieves it from the prepared-query cache) and
+  // evaluates it; on success returns one serialised string per result item.
+  StatusOr<std::vector<std::string>> EvaluateInternal(std::string_view query,
+                                                      bool keep_temporaries);
+
+  // Removes the temporary hierarchies (and their delta-scan nodes) past the
+  // given high-water marks — evaluations tear down only their own
+  // temporaries, never ones an earlier EvaluateKeepingTemporaries kept.
+  void CleanupTemporariesFrom(size_t hierarchy_mark, size_t node_mark);
+
+  const xpath::AxisEvaluator& axes();
+
   const MultihierarchicalDocument* document_;
+  // Lazily created, then pinned to the persistent snapshot (see header
+  // comment).
+  std::unique_ptr<xpath::AxisEvaluator> axes_;
+  // The KyGoddag revision the pinned snapshot is valid for, advanced by the
+  // engine's own virtual-hierarchy add/remove cycles. A mismatch in axes()
+  // means someone mutated the document directly (mutable_goddag()); the
+  // snapshot is then rebuilt and repinned once — analyze-string cycles
+  // alone never trigger this.
+  uint64_t pinned_revision_ = 0;
+  // True when the pinned snapshot was (re)built while kept temporaries
+  // existed and therefore indexes temporary nodes. Removing those
+  // temporaries must then repin — their recycled node slots would otherwise
+  // resolve stale index entries to unrelated live nodes.
+  bool snapshot_has_temporaries_ = false;
+  // Virtual hierarchies created by analyze-string() during the current (or
+  // a kept) evaluation, plus all of their node ids — the delta the engine
+  // scans for extended axes.
+  std::vector<goddag::HierarchyId> temp_hierarchies_;
+  std::vector<goddag::NodeId> temp_nodes_;
+  // Prepared-query and compiled-pattern caches (documents are immutable
+  // after Build, so both stay valid for the engine's lifetime).
+  std::map<std::string, std::unique_ptr<Expr>, std::less<>> query_cache_;
+  std::map<std::string, regex::Regex, std::less<>> regex_cache_;
 };
 
 }  // namespace mhx::xquery

@@ -1,0 +1,275 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "xquery/lexer.h"
+
+#include <cctype>
+
+namespace mhx::xquery {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of query";
+    case TokenKind::kError:
+      return "invalid token";
+    case TokenKind::kName:
+      return "name";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kString:
+      return "string literal";
+    case TokenKind::kInteger:
+      return "integer literal";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kSlashSlash:
+      return "'//'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kAxisSep:
+      return "'::'";
+    case TokenKind::kAssign:
+      return "':='";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+  }
+  return "token";
+}
+
+bool IsQueryNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsQueryNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+size_t Lexer::SkipIgnorable(size_t pos) const {
+  while (pos < src_.size()) {
+    char c = src_[pos];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++pos;
+      continue;
+    }
+    // Nested XQuery comments: (: ... :)
+    if (c == '(' && pos + 1 < src_.size() && src_[pos + 1] == ':') {
+      size_t depth = 1;
+      size_t i = pos + 2;
+      while (i < src_.size() && depth > 0) {
+        if (src_[i] == '(' && i + 1 < src_.size() && src_[i + 1] == ':') {
+          ++depth;
+          i += 2;
+        } else if (src_[i] == ':' && i + 1 < src_.size() &&
+                   src_[i + 1] == ')') {
+          --depth;
+          i += 2;
+        } else {
+          ++i;
+        }
+      }
+      if (depth > 0) return src_.size();  // unterminated; EOF follows
+      pos = i;
+      continue;
+    }
+    break;
+  }
+  return pos;
+}
+
+Token Lexer::Lex(size_t from) const {
+  Token t;
+  size_t pos = SkipIgnorable(from);
+  t.begin = pos;
+  t.end = pos;
+  if (pos >= src_.size()) {
+    t.kind = TokenKind::kEof;
+    return t;
+  }
+  char c = src_[pos];
+
+  auto single = [&](TokenKind kind) {
+    t.kind = kind;
+    t.end = pos + 1;
+  };
+  auto pair = [&](TokenKind kind) {
+    t.kind = kind;
+    t.end = pos + 2;
+  };
+
+  if (IsQueryNameStartChar(c)) {
+    size_t end = pos + 1;
+    while (end < src_.size() && IsQueryNameChar(src_[end])) ++end;
+    t.kind = TokenKind::kName;
+    t.text = std::string(src_.substr(pos, end - pos));
+    t.end = end;
+    return t;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    size_t end = pos + 1;
+    while (end < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[end]))) {
+      ++end;
+    }
+    t.kind = TokenKind::kInteger;
+    t.text = std::string(src_.substr(pos, end - pos));
+    t.end = end;
+    return t;
+  }
+  switch (c) {
+    case '$': {
+      size_t end = pos + 1;
+      if (end >= src_.size() || !IsQueryNameStartChar(src_[end])) {
+        t.kind = TokenKind::kError;
+        t.error = "expected a variable name after '$'";
+        t.end = end;
+        return t;
+      }
+      ++end;
+      while (end < src_.size() && IsQueryNameChar(src_[end])) ++end;
+      t.kind = TokenKind::kVariable;
+      t.text = std::string(src_.substr(pos + 1, end - pos - 1));
+      t.end = end;
+      return t;
+    }
+    case '\'':
+    case '"': {
+      const char quote = c;
+      std::string value;
+      size_t i = pos + 1;
+      while (i < src_.size()) {
+        if (src_[i] == quote) {
+          if (i + 1 < src_.size() && src_[i + 1] == quote) {
+            value.push_back(quote);  // doubled-quote escape
+            i += 2;
+            continue;
+          }
+          t.kind = TokenKind::kString;
+          t.text = std::move(value);
+          t.end = i + 1;
+          return t;
+        }
+        value.push_back(src_[i]);
+        ++i;
+      }
+      t.kind = TokenKind::kError;
+      t.error = "unterminated string literal";
+      t.end = src_.size();
+      return t;
+    }
+    case '/':
+      if (pos + 1 < src_.size() && src_[pos + 1] == '/') {
+        pair(TokenKind::kSlashSlash);
+      } else {
+        single(TokenKind::kSlash);
+      }
+      return t;
+    case '(':
+      single(TokenKind::kLParen);
+      return t;
+    case ')':
+      single(TokenKind::kRParen);
+      return t;
+    case '[':
+      single(TokenKind::kLBracket);
+      return t;
+    case ']':
+      single(TokenKind::kRBracket);
+      return t;
+    case '{':
+      single(TokenKind::kLBrace);
+      return t;
+    case '}':
+      single(TokenKind::kRBrace);
+      return t;
+    case ',':
+      single(TokenKind::kComma);
+      return t;
+    case ':':
+      if (pos + 1 < src_.size() && src_[pos + 1] == ':') {
+        pair(TokenKind::kAxisSep);
+      } else if (pos + 1 < src_.size() && src_[pos + 1] == '=') {
+        pair(TokenKind::kAssign);
+      } else {
+        t.kind = TokenKind::kError;
+        t.error = "stray ':'";
+        t.end = pos + 1;
+      }
+      return t;
+    case '.':
+      single(TokenKind::kDot);
+      return t;
+    case '*':
+      single(TokenKind::kStar);
+      return t;
+    case '+':
+      single(TokenKind::kPlus);
+      return t;
+    case '-':
+      single(TokenKind::kMinus);
+      return t;
+    case '=':
+      single(TokenKind::kEq);
+      return t;
+    case '!':
+      if (pos + 1 < src_.size() && src_[pos + 1] == '=') {
+        pair(TokenKind::kNe);
+      } else {
+        t.kind = TokenKind::kError;
+        t.error = "expected '=' after '!'";
+        t.end = pos + 1;
+      }
+      return t;
+    case '<':
+      if (pos + 1 < src_.size() && src_[pos + 1] == '=') {
+        pair(TokenKind::kLe);
+      } else {
+        single(TokenKind::kLt);
+      }
+      return t;
+    case '>':
+      if (pos + 1 < src_.size() && src_[pos + 1] == '=') {
+        pair(TokenKind::kGe);
+      } else {
+        single(TokenKind::kGt);
+      }
+      return t;
+    default:
+      t.kind = TokenKind::kError;
+      t.error = std::string("unexpected character '") + c + "'";
+      t.end = pos + 1;
+      return t;
+  }
+}
+
+}  // namespace mhx::xquery

@@ -1,0 +1,82 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// The XQuery tokenizer. Stateless by design: Lex(from) is a pure function
+// of a source offset, so the recursive-descent parser gets arbitrary
+// lookahead for free (XQuery keywords are context-sensitive — `for` is only
+// a FLWOR head when a variable follows) and can re-enter token mode at any
+// offset after consuming direct-constructor content as raw text.
+
+#ifndef MHX_XQUERY_LEXER_H_
+#define MHX_XQUERY_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace mhx::xquery {
+
+enum class TokenKind {
+  kEof,
+  kError,     // token.error holds the reason, token.begin the offset
+  kName,      // NCName (':' excluded so axis separators lex as kAxisSep)
+  kVariable,  // $name; token.text is the name without '$'
+  kString,    // quoted literal; token.text is the decoded value
+  kInteger,
+  kSlash,
+  kSlashSlash,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kAxisSep,  // ::
+  kAssign,   // :=
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kEq,
+  kNe,  // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  size_t begin = 0;
+  size_t end = 0;  // offset just past the token — where the next Lex starts
+  std::string error;
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+// True for characters that may start / continue a lexical name. Unlike the
+// XML name alphabet (base/chars.h) these exclude ':' so that `axis::test`
+// splits into three tokens.
+bool IsQueryNameStartChar(char c);
+bool IsQueryNameChar(char c);
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  // Lexes the token starting at or after `from`, skipping whitespace and
+  // nested (: ... :) comments.
+  Token Lex(size_t from) const;
+
+  std::string_view source() const { return src_; }
+
+ private:
+  size_t SkipIgnorable(size_t pos) const;
+
+  std::string_view src_;
+};
+
+}  // namespace mhx::xquery
+
+#endif  // MHX_XQUERY_LEXER_H_

@@ -6,8 +6,10 @@
 // predicates, direct/computed constructors, and the built-ins string(),
 // string-length(), count(), name(), matches(), analyze-string().
 //
-// Declared API only for now: ParseQuery returns Unimplemented until the
-// XQuery PR lands (see ROADMAP.md). The Expr node is intentionally opaque.
+// ParseQuery runs the stateless lexer (xquery/lexer.h) under a
+// recursive-descent parser and yields the AST of xquery/ast.h behind the
+// Expr handle. Every syntax error is InvalidArgument with the offending
+// source offset, so diagnostics stay anchored to the query text.
 
 #ifndef MHX_XQUERY_PARSER_H_
 #define MHX_XQUERY_PARSER_H_
@@ -20,15 +22,23 @@
 
 namespace mhx::xquery {
 
-// Opaque parsed-query handle; the engine PR will flesh out the AST behind
-// it. Holding the source keeps error messages anchored to the query text.
+struct AstNode;
+
+// A parsed query: the source text plus the AST built over it. Holding the
+// source keeps error messages anchored to the query text.
 class Expr {
  public:
-  explicit Expr(std::string source) : source_(std::move(source)) {}
+  Expr(std::string source, std::unique_ptr<AstNode> root);
+  ~Expr();
+  Expr(Expr&&) noexcept;
+  Expr& operator=(Expr&&) noexcept;
+
   const std::string& source() const { return source_; }
+  const AstNode& root() const { return *root_; }
 
  private:
   std::string source_;
+  std::unique_ptr<AstNode> root_;
 };
 
 StatusOr<std::unique_ptr<Expr>> ParseQuery(std::string_view query);

@@ -67,18 +67,19 @@ TEST(DocumentTest, MoveKeepsGoddagAndEngineStable) {
   EXPECT_EQ(doc.engine()->document(), &doc);
 }
 
-TEST(DocumentTest, QueryIsDeclaredButUnimplemented) {
+TEST(DocumentTest, QueryEvaluatesThroughTheEngine) {
   auto doc = workload::BuildPaperDocument();
   ASSERT_TRUE(doc.ok());
   auto out = doc->Query(workload::kQueryI1);
-  ASSERT_FALSE(out.ok());
-  EXPECT_EQ(out.status().code(), StatusCode::kUnimplemented);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(*out, workload::kExpectedI1);
   auto* engine = doc->engine();
   ASSERT_NE(engine, nullptr);
   EXPECT_EQ(engine, doc->engine());  // stable across calls
-  EXPECT_EQ(engine->EvaluateKeepingTemporaries("1").status().code(),
-            StatusCode::kUnimplemented);
-  engine->CleanupTemporaries();  // no-op, must not crash
+  auto items = engine->EvaluateKeepingTemporaries("(1, 2)");
+  ASSERT_TRUE(items.ok()) << items.status();
+  EXPECT_EQ(*items, (std::vector<std::string>{"1", "2"}));
+  engine->CleanupTemporaries();  // no temporaries: must be a no-op
 }
 
 }  // namespace

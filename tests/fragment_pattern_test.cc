@@ -30,6 +30,35 @@ TEST(FragmentPatternTest, PlainRegexPassesThrough) {
   EXPECT_TRUE(f->group_names.empty());
 }
 
+TEST(FragmentPatternTest, UserGroupsKeepNumberingWithEmptyNames) {
+  // A plain capture group the user wrote consumes a group number; the
+  // placeholder keeps fragment names aligned with the residual regex.
+  auto f = TranslateFragmentPattern("(t|T)h<a>a</a>et");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(f->regex, "(t|T)h(a)et");
+  EXPECT_EQ(f->group_names, (std::vector<std::string>{"", "a"}));
+}
+
+TEST(FragmentPatternTest, ClassContentsAreNeverMarkupOrGroups) {
+  auto f = TranslateFragmentPattern("[<(]<a>x</a>");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(f->regex, "[<(](x)");
+  EXPECT_EQ(f->group_names, (std::vector<std::string>{"a"}));
+}
+
+TEST(FragmentPatternTest, LeadingClassBracketLiteralMatchesRegexLexing) {
+  // "[]<]" is a class of ']' and '<' (leading ']' is a literal, as the
+  // regex parser lexes it); the '<' inside must not start markup.
+  auto f = TranslateFragmentPattern("[]<]x<a>y</a>");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(f->regex, "[]<]x(y)");
+  EXPECT_EQ(f->group_names, (std::vector<std::string>{"a"}));
+  auto negated = TranslateFragmentPattern("[^](]<b>z</b>");
+  ASSERT_TRUE(negated.ok()) << negated.status();
+  EXPECT_EQ(negated->regex, "[^](](z)");
+  EXPECT_EQ(negated->group_names, (std::vector<std::string>{"b"}));
+}
+
 TEST(FragmentPatternTest, EscapesPassThrough) {
   auto f = TranslateFragmentPattern("a\\<b\\>c");
   ASSERT_TRUE(f.ok());
