@@ -97,6 +97,36 @@ void BM_Example1_AnalyzeString(benchmark::State& state) {
 }
 BENCHMARK(BM_Example1_AnalyzeString);
 
+// The acceptance lane for the parallel execution layer: all four Section 4
+// queries with QueryOptions{threads: 4}, each iteration verified against the
+// same pinned serialisations as the serial benchmarks above — parallel
+// evaluation must be byte-identical.
+void BM_PaperQueries_Parallel4(benchmark::State& state) {
+  MultihierarchicalDocument* doc = PaperDoc();
+  mhx::QueryOptions options;
+  options.threads = 4;
+  for (auto _ : state) {
+    auto i1 = doc->Query(mhx::workload::kQueryI1, options);
+    VerifyOrAbort(i1.ok() && *i1 == mhx::workload::kExpectedI1,
+                  "I.1 parallel");
+    auto i2 = doc->Query(mhx::workload::kQueryI2, options);
+    VerifyOrAbort(i2.ok() && *i2 == mhx::workload::kExpectedI2,
+                  "I.2 parallel");
+    auto ii1 = doc->Query(mhx::workload::kQueryII1, options);
+    VerifyOrAbort(ii1.ok() && mhx::xquery::CoalesceRuns(*ii1) ==
+                                  mhx::workload::kExpectedII1Coalesced,
+                  "II.1 parallel");
+    auto iii1 = doc->Query(mhx::workload::kQueryIII1Intent, options);
+    VerifyOrAbort(iii1.ok() && mhx::xquery::CoalesceRuns(*iii1) ==
+                                   mhx::workload::kExpectedIII1IntentCoalesced,
+                  "III.1 parallel");
+    benchmark::DoNotOptimize(iii1);
+  }
+  state.counters["parallel_tasks"] =
+      static_cast<double>(doc->engine()->parallel_tasks());
+}
+BENCHMARK(BM_PaperQueries_Parallel4);
+
 // --- The same query shapes on growing synthetic editions -------------------
 
 MultihierarchicalDocument* EditionDoc(size_t words) {

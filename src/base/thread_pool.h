@@ -1,0 +1,73 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// A deliberately small fixed-size thread pool for query-level parallelism:
+// no work stealing, no priorities, no dynamic resizing — a locked FIFO queue
+// drained by `size()` workers. Submit returns a std::future, so values and
+// exceptions both propagate to the joining thread (std::packaged_task stores
+// a thrown exception in the shared state).
+//
+// Sizing note for callers that block on futures: tasks must never Submit and
+// then wait on the same pool — a worker blocked on a task queued behind it
+// deadlocks. The XQuery engine obeys this by fanning out only from the
+// coordinating (non-pool) thread; see Evaluator::parallel_worker_.
+
+#ifndef MHX_BASE_THREAD_POOL_H_
+#define MHX_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mhx::base {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains nothing: queued-but-unstarted tasks still run before the workers
+  // exit, so every future obtained from Submit becomes ready.
+  ~ThreadPool();
+
+  size_t size() const { return workers_.size(); }
+
+  // Enqueues `fn` and returns the future for its result. The future carries
+  // the task's return value or, if the task throws, its exception.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only; std::function requires copyable targets,
+    // so the task rides behind a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace mhx::base
+
+#endif  // MHX_BASE_THREAD_POOL_H_

@@ -51,7 +51,13 @@ StatusOr<std::string> MultihierarchicalDocument::Query(
   return engine()->Evaluate(query);
 }
 
+StatusOr<std::string> MultihierarchicalDocument::Query(
+    std::string_view query, const QueryOptions& options) const {
+  return engine()->Evaluate(query, options);
+}
+
 xquery::Engine* MultihierarchicalDocument::engine() const {
+  std::lock_guard<std::mutex> lock(*engine_mu_);
   if (engine_ == nullptr) {
     engine_ = std::make_unique<xquery::Engine>(this);
   }

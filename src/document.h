@@ -26,6 +26,7 @@
 #define MHX_DOCUMENT_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -36,6 +37,9 @@
 #include "xquery/engine.h"
 
 namespace mhx {
+
+// Per-query knobs (thread fan-out etc.); see xquery/engine.h.
+using QueryOptions = xquery::QueryOptions;
 
 class MultihierarchicalDocument {
  public:
@@ -62,13 +66,16 @@ class MultihierarchicalDocument {
   // Moves re-point the engine's back-reference so an engine created before
   // the move keeps working afterwards.
   MultihierarchicalDocument(MultihierarchicalDocument&& other) noexcept
-      : goddag_(std::move(other.goddag_)), engine_(std::move(other.engine_)) {
+      : goddag_(std::move(other.goddag_)),
+        engine_(std::move(other.engine_)),
+        engine_mu_(std::move(other.engine_mu_)) {
     if (engine_ != nullptr) engine_->Rebind(this);
   }
   MultihierarchicalDocument& operator=(
       MultihierarchicalDocument&& other) noexcept {
     goddag_ = std::move(other.goddag_);
     engine_ = std::move(other.engine_);
+    engine_mu_ = std::move(other.engine_mu_);
     if (engine_ != nullptr) engine_->Rebind(this);
     return *this;
   }
@@ -81,24 +88,36 @@ class MultihierarchicalDocument {
   // (items concatenate without separators; leaves serialise as their
   // base-text characters, constructed elements as tags).
   //
-  // NOT thread-safe despite being const: analyze-string() materialises
-  // temporary virtual hierarchies on the shared KyGoddag (torn down before
-  // returning), and the engine caches parsed queries and compiled
-  // patterns. Concurrent queries need external synchronisation or one
-  // document per thread.
+  // Thread-safe: concurrent Query calls on one document are supported.
+  // Queries free of analyze-string() run truly concurrently (shared lock);
+  // queries that materialise temporary virtual hierarchies serialise
+  // against everything else (exclusive lock). See the concurrency contract
+  // in xquery/engine.h. Mutating the document (mutable_goddag()) or moving
+  // it while queries run remains undefined behaviour.
   StatusOr<std::string> Query(std::string_view query) const;
 
-  // The query engine bound to this document (created lazily).
+  // As above, with per-query options — QueryOptions{.threads = 4} fans
+  // independent FLWOR iterations out across a thread pool, with results
+  // byte-identical to the serial evaluation.
+  StatusOr<std::string> Query(std::string_view query,
+                              const QueryOptions& options) const;
+
+  // The query engine bound to this document (created lazily; creation is
+  // thread-safe).
   xquery::Engine* engine() const;
 
  private:
   explicit MultihierarchicalDocument(std::unique_ptr<goddag::KyGoddag> g)
-      : goddag_(std::move(g)) {}
+      : goddag_(std::move(g)),
+        engine_mu_(std::make_unique<std::mutex>()) {}
 
   // KyGoddag and Engine live behind pointers so moving the document does not
   // invalidate &goddag() or engine() held by evaluators and benchmarks.
   std::unique_ptr<goddag::KyGoddag> goddag_;
   mutable std::unique_ptr<xquery::Engine> engine_;
+  // Guards lazy engine creation under concurrent Query calls. Behind a
+  // pointer because mutexes are not movable but the document is.
+  mutable std::unique_ptr<std::mutex> engine_mu_;
 };
 
 }  // namespace mhx

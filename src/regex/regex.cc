@@ -14,7 +14,7 @@ namespace {
 using internal::CharClass;
 using internal::Inst;
 
-constexpr size_t kUnset = static_cast<size_t>(-1);
+constexpr size_t kUnset = internal::kUnsetPos;
 // Bounded repetition is compiled by fragment copying; cap it (and the total
 // program size) so hostile patterns cannot allocate without limit.
 constexpr uint32_t kMaxBoundedRepeat = 512;
@@ -488,12 +488,20 @@ StatusOr<Regex> Regex::Compile(std::string_view pattern) {
 
 namespace {
 
+using internal::PendingThread;
 using internal::SearchScratch;
+using internal::SlotPool;
 using internal::ThreadList;
+
+using Pending = PendingThread;
 
 struct AddContext {
   const std::vector<Inst>* program;
   std::vector<uint64_t>* mark;
+  SlotPool* pool;
+  // Reused epsilon-closure work stack (always drained on return), so the
+  // hot loop allocates nothing.
+  std::vector<Pending>* stack;
   uint64_t generation;
   size_t pos;
   size_t text_size;
@@ -503,46 +511,53 @@ struct AddContext {
 // matching) instruction to `list` exactly once per step. Iterative with an
 // explicit work stack (popping the preferred Split branch first preserves
 // the depth-first priority order), so epsilon-chain length — which grows
-// with the compiled program — cannot overflow the call stack.
+// with the compiled program — cannot overflow the call stack. Takes
+// ownership of one reference on `start_saves`; forks share the block
+// (kSplit bumps the refcount) and only a kSave on a shared block clones.
 void AddThread(const AddContext& ctx, ThreadList* list, uint32_t start_pc,
-               std::vector<size_t> start_saves) {
-  struct Pending {
-    uint32_t pc;
-    std::vector<size_t> saves;
-  };
-  std::vector<Pending> stack;
-  stack.push_back(Pending{start_pc, std::move(start_saves)});
+               uint32_t start_saves) {
+  SlotPool& pool = *ctx.pool;
+  std::vector<Pending>& stack = *ctx.stack;
+  stack.push_back(Pending{start_pc, start_saves});
   while (!stack.empty()) {
-    Pending t = std::move(stack.back());
+    Pending t = stack.back();
     stack.pop_back();
-    if ((*ctx.mark)[t.pc] == ctx.generation) continue;
+    if ((*ctx.mark)[t.pc] == ctx.generation) {
+      pool.Unref(t.saves);
+      continue;
+    }
     (*ctx.mark)[t.pc] = ctx.generation;
     const Inst& inst = (*ctx.program)[t.pc];
     switch (inst.op) {
       case Inst::Op::kJmp:
-        stack.push_back(Pending{inst.next_a, std::move(t.saves)});
+        stack.push_back(Pending{inst.next_a, t.saves});
         break;
       case Inst::Op::kSplit:
+        pool.Ref(t.saves);
         stack.push_back(Pending{inst.next_b, t.saves});
-        stack.push_back(Pending{inst.next_a, std::move(t.saves)});
+        stack.push_back(Pending{inst.next_a, t.saves});
         break;
       case Inst::Op::kSave:
-        t.saves[inst.arg] = ctx.pos;
-        stack.push_back(Pending{t.pc + 1, std::move(t.saves)});
+        stack.push_back(
+            Pending{t.pc + 1, pool.SetSlot(t.saves, inst.arg, ctx.pos)});
         break;
       case Inst::Op::kAssertStart:
         if (ctx.pos == 0) {
-          stack.push_back(Pending{t.pc + 1, std::move(t.saves)});
+          stack.push_back(Pending{t.pc + 1, t.saves});
+        } else {
+          pool.Unref(t.saves);
         }
         break;
       case Inst::Op::kAssertEnd:
         if (ctx.pos == ctx.text_size) {
-          stack.push_back(Pending{t.pc + 1, std::move(t.saves)});
+          stack.push_back(Pending{t.pc + 1, t.saves});
+        } else {
+          pool.Unref(t.saves);
         }
         break;
       default:
         list->pcs.push_back(t.pc);
-        list->saves.push_back(std::move(t.saves));
+        list->saves.push_back(t.saves);
         break;
     }
   }
@@ -558,8 +573,12 @@ bool Regex::Search(std::string_view text, size_t from, bool anchored,
   const size_t nslots = 2 * (group_count_ + 1);
   ThreadList& clist = scratch->clist;
   ThreadList& nlist = scratch->nlist;
+  SlotPool& pool = scratch->slots;
   clist.Clear();
   nlist.Clear();
+  // Reclaims blocks still referenced by a previous Search's abandoned
+  // threads (first_only early returns leave them behind by design).
+  pool.Reset(nslots);
   // Stale marks from earlier Search calls on this scratch are harmless:
   // the generation counter only ever increases.
   std::vector<uint64_t>& mark = scratch->mark;
@@ -573,56 +592,75 @@ bool Regex::Search(std::string_view text, size_t from, bool anchored,
     ++generation;
     // Threads in clist run at `pos`; threads they spawn run at `pos + 1` and
     // deduplicate against the *next* generation's visited marks.
-    AddContext seed_ctx{&program_, &mark, generation, pos, n};
-    AddContext step_ctx{&program_, &mark, generation + 1, pos + 1, n};
+    AddContext seed_ctx{&program_, &mark,         &pool, &scratch->closure_stack,
+                        generation, pos,          n};
+    AddContext step_ctx{&program_,      &mark,   &pool, &scratch->closure_stack,
+                        generation + 1, pos + 1, n};
     // Seed a new start thread (lowest priority) while a leftmost match has
     // not been found yet; later starts could not be leftmost anymore.
     if ((pos == from || (!anchored && !have_best))) {
-      AddThread(seed_ctx, &clist, 0, std::vector<size_t>(nslots, kUnset));
+      AddThread(seed_ctx, &clist, 0, pool.Alloc());
     }
     if (clist.empty()) break;
     for (size_t t = 0; t < clist.pcs.size(); ++t) {
       const uint32_t pc = clist.pcs[t];
-      std::vector<size_t>& saves = clist.saves[t];
+      const uint32_t saves = clist.saves[t];
       // A thread that starts after the best match's start can never improve
       // on leftmost-longest; drop it.
-      if (have_best && saves[0] != kUnset && saves[0] > best.begin) continue;
+      if (have_best && pool.values(saves)[0] != kUnset &&
+          pool.values(saves)[0] > best.begin) {
+        pool.Unref(saves);
+        continue;
+      }
       const Inst& inst = program_[pc];
       switch (inst.op) {
         case Inst::Op::kChar:
           if (pos < n && text[pos] == inst.ch) {
-            AddThread(step_ctx, &nlist, pc + 1, std::move(saves));
+            AddThread(step_ctx, &nlist, pc + 1, saves);
+          } else {
+            pool.Unref(saves);
           }
           break;
         case Inst::Op::kClass:
           if (pos < n &&
               ClassHas(classes_[inst.arg],
                        static_cast<unsigned char>(text[pos]))) {
-            AddThread(step_ctx, &nlist, pc + 1, std::move(saves));
+            AddThread(step_ctx, &nlist, pc + 1, saves);
+          } else {
+            pool.Unref(saves);
           }
           break;
         case Inst::Op::kAnyChar:
           if (pos < n && text[pos] != '\n') {
-            AddThread(step_ctx, &nlist, pc + 1, std::move(saves));
+            AddThread(step_ctx, &nlist, pc + 1, saves);
+          } else {
+            pool.Unref(saves);
           }
           break;
         case Inst::Op::kMatch: {
-          if (full && pos != n) break;
-          const size_t begin = saves[0];
+          if (full && pos != n) {
+            pool.Unref(saves);
+            break;
+          }
+          const std::vector<size_t>& slots = pool.values(saves);
+          const size_t begin = slots[0];
           if (!have_best || begin < best.begin ||
               (begin == best.begin && pos > best.end)) {
             best.begin = begin;
             best.end = pos;
-            best.saves = saves;
+            best.saves = slots;  // copy out: best outlives the pool block
             have_best = true;
             if (first_only) {
+              pool.Unref(saves);
               *out = std::move(best);
               return true;
             }
           }
+          pool.Unref(saves);
           break;
         }
         default:
+          pool.Unref(saves);
           break;  // epsilon ops never appear in a thread list
       }
     }

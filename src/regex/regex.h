@@ -53,10 +53,94 @@ struct Inst {
 // A 256-bit character-set bitmap.
 using CharClass = std::array<uint64_t, 4>;
 
-// One step's worth of runnable threads, in priority order.
+// "Position not recorded" marker for capture save slots.
+inline constexpr size_t kUnsetPos = static_cast<size_t>(-1);
+
+// Copy-on-write storage for the per-thread capture save slots. NFA threads
+// used to carry their own std::vector<size_t>, copied wholesale on every
+// kSplit — one allocation per forked thread per input character in
+// capture-heavy patterns. Here a thread holds a refcounted handle to a slot
+// block instead: forks bump a refcount, and only a kSave landing on a
+// shared block pays a clone. Freed blocks go to a free list and are reused
+// with their vector capacity intact, so a warmed-up FindAll scan allocates
+// nothing at all.
+class SlotPool {
+ public:
+  // Prepares the pool for a Search over `nslots`-wide threads. Any blocks
+  // still referenced by the previous Search's abandoned threads (early
+  // returns leave some behind deliberately) are reclaimed here.
+  void Reset(size_t nslots) {
+    nslots_ = nslots;
+    free_.clear();
+    free_.reserve(blocks_.size());
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      blocks_[i].refs = 0;
+      free_.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  // A fresh block with every slot kUnsetPos, refcount 1.
+  uint32_t Alloc() {
+    const uint32_t handle = TakeBlock();
+    blocks_[handle].values.assign(nslots_, kUnsetPos);
+    return handle;
+  }
+
+  void Ref(uint32_t handle) { ++blocks_[handle].refs; }
+
+  void Unref(uint32_t handle) {
+    if (--blocks_[handle].refs == 0) free_.push_back(handle);
+  }
+
+  // Writes `value` into `slot`, cloning first when the block is shared.
+  // Returns the handle holding the write (the original when exclusive).
+  uint32_t SetSlot(uint32_t handle, uint32_t slot, size_t value) {
+    if (blocks_[handle].refs == 1) {
+      blocks_[handle].values[slot] = value;
+      return handle;
+    }
+    --blocks_[handle].refs;
+    const uint32_t clone = TakeBlock();
+    // Index, not reference: TakeBlock may have grown blocks_.
+    blocks_[clone].values = blocks_[handle].values;
+    blocks_[clone].values[slot] = value;
+    return clone;
+  }
+
+  const std::vector<size_t>& values(uint32_t handle) const {
+    return blocks_[handle].values;
+  }
+
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::vector<size_t> values;
+    uint32_t refs = 0;
+  };
+
+  uint32_t TakeBlock() {
+    if (!free_.empty()) {
+      const uint32_t handle = free_.back();
+      free_.pop_back();
+      blocks_[handle].refs = 1;
+      return handle;
+    }
+    blocks_.emplace_back();
+    blocks_.back().refs = 1;
+    return static_cast<uint32_t>(blocks_.size() - 1);
+  }
+
+  std::vector<Block> blocks_;
+  std::vector<uint32_t> free_;
+  size_t nslots_ = 0;
+};
+
+// One step's worth of runnable threads, in priority order. `saves` holds
+// SlotPool handles; each listed thread owns one reference.
 struct ThreadList {
   std::vector<uint32_t> pcs;
-  std::vector<std::vector<size_t>> saves;
+  std::vector<uint32_t> saves;
   void Clear() {
     pcs.clear();
     saves.clear();
@@ -64,12 +148,22 @@ struct ThreadList {
   bool empty() const { return pcs.empty(); }
 };
 
+// An epsilon-closure work item: a pc plus a SlotPool handle the pending
+// thread owns one reference on.
+struct PendingThread {
+  uint32_t pc;
+  uint32_t saves;
+};
+
 // Reusable per-scan state. FindAll shares one across its per-match Search
-// calls so the visited-marks array is allocated (and implicitly reset, via
-// the ever-increasing generation counter) only once per scan.
+// calls so the visited-marks array, the closure work stack, and the
+// save-slot blocks are allocated once per scan (the generation counter and
+// SlotPool::Reset take care of the implicit clearing).
 struct SearchScratch {
   std::vector<uint64_t> mark;
   ThreadList clist, nlist;
+  SlotPool slots;
+  std::vector<PendingThread> closure_stack;
   uint64_t generation = 0;
 };
 

@@ -63,6 +63,18 @@ std::string_view AxisName(Axis axis) {
   return "unknown";
 }
 
+std::string_view OrderingName(Ordering ordering) {
+  switch (ordering) {
+    case Ordering::kDocOrderNoDupes:
+      return "doc-order-no-dupes";
+    case Ordering::kSortedMayDupe:
+      return "sorted-may-dupe";
+    case Ordering::kUnordered:
+      return "unordered";
+  }
+  return "unknown";
+}
+
 bool ExtendedAxisMatches(Axis axis, const TextRange& context,
                          const TextRange& candidate) {
   switch (axis) {
@@ -140,14 +152,27 @@ void AxisEvaluator::PinIndex() {
   index_pinned_ = true;
 }
 
-void AxisEvaluator::SortDocumentOrder(std::vector<NodeId>* ids) const {
+Ordering AxisEvaluator::ResultOrdering(Axis axis) {
+  // Every axis: each traversal visits a node at most once, and
+  // NormalizeDocumentOrder establishes document order before returning.
+  (void)axis;
+  return Ordering::kDocOrderNoDupes;
+}
+
+void AxisEvaluator::NormalizeDocumentOrder(std::vector<NodeId>* ids) const {
+  if (ids->size() < 2) return;
   const KyGoddag& kg = *goddag_;
-  std::sort(ids->begin(), ids->end(), [&kg](NodeId a, NodeId b) {
+  auto cmp = [&kg](NodeId a, NodeId b) {
     const TextRange& ra = kg.node(a).range;
     const TextRange& rb = kg.node(b).range;
     if (ra != rb) return ra < rb;
     return a < b;
-  });
+  };
+  if (std::is_sorted(ids->begin(), ids->end(), cmp)) {
+    sorts_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::sort(ids->begin(), ids->end(), cmp);
 }
 
 void AxisEvaluator::EvaluateExtendedNaive(const GNode& context_node,
@@ -230,6 +255,9 @@ void AxisEvaluator::EvaluateStandard(NodeId context, Axis axis,
       for (NodeId p = node.parent; p != kInvalidNode; p = kg.node(p).parent) {
         out->push_back(p);
       }
+      // The walk-up visits innermost-first — exactly reverse document order.
+      // Reverse here so normalisation sees a sorted chain and skips the sort.
+      std::reverse(out->begin(), out->end());
       return;
     }
     case Axis::kFollowingSibling:
@@ -280,7 +308,7 @@ std::vector<NodeId> AxisEvaluator::EvaluateAxisOnly(NodeId context,
   } else {
     EvaluateStandard(context, axis, &out);
   }
-  SortDocumentOrder(&out);
+  NormalizeDocumentOrder(&out);
   return out;
 }
 

@@ -19,6 +19,7 @@
 #ifndef MHX_XPATH_AXES_H_
 #define MHX_XPATH_AXES_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -55,6 +56,20 @@ enum class Axis {
 bool IsExtendedAxis(Axis axis);
 std::string_view AxisName(Axis axis);
 StatusOr<Axis> AxisFromName(std::string_view name);
+
+// What a producer of a node/leaf sequence guarantees about its output. The
+// XQuery engine's step loop keys off this to replace its former
+// unconditional sort+dedup with the cheapest sufficient fix-up: nothing for
+// kDocOrderNoDupes, a linear dedup pass for kSortedMayDupe (the state a
+// linear merge of doc-ordered runs leaves behind), a full sort+dedup only
+// for kUnordered.
+enum class Ordering {
+  kDocOrderNoDupes,  // document order, every item at most once
+  kSortedMayDupe,    // document order, items may repeat
+  kUnordered,        // no guarantee
+};
+
+std::string_view OrderingName(Ordering ordering);
 
 // The Definition-1 range predicate of one extended axis: does `candidate`
 // stand in `axis` relation to a context with range `context`? Shared by the
@@ -103,6 +118,23 @@ class AxisEvaluator {
   std::vector<goddag::NodeId> Evaluate(goddag::NodeId context, Axis axis,
                                        const NodeTest& test) const;
 
+  // The ordering guarantee Evaluate/EvaluateAxisOnly declare for `axis`:
+  // always kDocOrderNoDupes — every traversal visits a node at most once,
+  // and the evaluator normalises the rare traversals that are not already
+  // in document order. Downstream step loops may therefore skip their own
+  // sort+dedup for single-context axis results (the XQuery engine does, and
+  // counts the skips). Declared per axis so callers key off the contract,
+  // not off evaluator internals.
+  static Ordering ResultOrdering(Axis axis);
+
+  // Document-order sorts EvaluateAxisOnly avoided because the traversal was
+  // already sorted (child/descendant walks, sibling slices, the reversed
+  // ancestor chain). Relaxed atomic: bumped from const evaluation, read by
+  // benchmarks; exactness across racing readers is not required.
+  size_t sorts_skipped() const {
+    return sorts_skipped_.load(std::memory_order_relaxed);
+  }
+
   const AxisOptions& options() const { return options_; }
 
   // The lazily built (and revision-checked) index backing indexed mode.
@@ -132,12 +164,20 @@ class AxisEvaluator {
                                std::vector<goddag::NodeId>* out) const;
   void EvaluateStandard(goddag::NodeId context, Axis axis,
                         std::vector<goddag::NodeId>* out) const;
-  void SortDocumentOrder(std::vector<goddag::NodeId>* ids) const;
+  // Establishes document order: a linear is_sorted scan first (counted as a
+  // skipped sort when it passes on 2+ elements), the O(n log n) sort only
+  // when the scan finds an inversion. The scan, rather than a purely static
+  // per-axis whitelist, is what makes the guarantee honest: recycled
+  // virtual-hierarchy node slots can violate "pre-order allocates ascending
+  // ids", and a cross-hierarchy descendant walk from the GODDAG root
+  // interleaves hierarchies.
+  void NormalizeDocumentOrder(std::vector<goddag::NodeId>* ids) const;
 
   const goddag::KyGoddag* goddag_;
   AxisOptions options_;
   mutable std::unique_ptr<goddag::RangeIndex> index_;
   mutable size_t index_rebuild_count_ = 0;
+  mutable std::atomic<size_t> sorts_skipped_{0};
   bool index_pinned_ = false;
 };
 

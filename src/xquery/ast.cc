@@ -156,6 +156,43 @@ std::string DebugString(const AstNode& node) {
   return out;
 }
 
+bool IsParallelSafe(const AstNode& node) {
+  if (node.kind == ExprKind::kFunctionCall) {
+    static constexpr std::string_view kPureFunctions[] = {
+        "string", "string-length", "count", "name",
+        "not",    "true",          "false", "matches"};
+    bool pure = false;
+    for (std::string_view name : kPureFunctions) {
+      if (node.name == name) {
+        pure = true;
+        break;
+      }
+    }
+    // analyze-string() (temporary hierarchies) and anything unrecognised.
+    if (!pure) return false;
+  }
+  for (const auto& child : node.children) {
+    if (!IsParallelSafe(*child)) return false;
+  }
+  for (const PathStep& step : node.steps) {
+    if (step.primary != nullptr && !IsParallelSafe(*step.primary)) {
+      return false;
+    }
+    for (const auto& predicate : step.predicates) {
+      if (!IsParallelSafe(*predicate)) return false;
+    }
+  }
+  for (const ConstructorAttribute& attribute : node.attributes) {
+    for (const ConstructorPart& part : attribute.parts) {
+      if (part.expr != nullptr && !IsParallelSafe(*part.expr)) return false;
+    }
+  }
+  for (const ConstructorPart& part : node.content) {
+    if (part.expr != nullptr && !IsParallelSafe(*part.expr)) return false;
+  }
+  return true;
+}
+
 std::string_view CompareOpName(CompareOp op) {
   switch (op) {
     case CompareOp::kEq:

@@ -99,6 +99,16 @@ struct AstNode {
 // "(for $w (path / descendant::w) (call string (path $w)))".
 std::string DebugString(const AstNode& node);
 
+// True when evaluating the subtree cannot touch shared document state, so
+// independent FLWOR iterations / quantifier bindings over it may run on
+// worker threads concurrently. The one source of evaluation-time mutation in
+// this engine is analyze-string(), which materialises temporary virtual
+// hierarchies on the shared KyGoddag; unknown function names are rejected
+// conservatively so a future side-effecting built-in cannot silently become
+// "safe". Direct constructors are pure here — they build detached fragment
+// strings that never re-enter the document — and so stay parallel-safe.
+bool IsParallelSafe(const AstNode& node);
+
 std::string_view CompareOpName(CompareOp op);
 std::string_view ArithOpName(ArithOp op);
 

@@ -3,7 +3,11 @@
 #include "xquery/engine.h"
 
 #include <algorithm>
+#include <exception>
+#include <future>
 #include <limits>
+#include <optional>
+#include <queue>
 #include <tuple>
 #include <utility>
 
@@ -90,7 +94,8 @@ class Evaluator {
   };
   using Sequence = std::vector<Item>;
 
-  explicit Evaluator(Engine* engine)
+  Evaluator(Engine* engine, const QueryOptions* options,
+            base::ThreadPool* pool)
       : engine_(engine),
         goddag_(engine->document()->goddag()),
         // Temporary virtual hierarchies are query-time scratch state on a
@@ -98,7 +103,20 @@ class Evaluator {
         // CleanupTemporaries before the result is observable.
         mutable_goddag_(
             const_cast<goddag::KyGoddag*>(&engine->document()->goddag())),
-        axes_(engine->axes()) {}
+        axes_(engine->axes()),
+        options_(options),
+        pool_(pool) {}
+
+  // A worker evaluator for one parallel FLWOR iteration: same engine and
+  // options, a snapshot of the parent's binding stack, and no further
+  // fan-out (a pool task blocking on tasks queued behind it would deadlock
+  // the fixed-size pool).
+  Evaluator(Engine* engine, const QueryOptions* options,
+            std::vector<std::pair<std::string, Sequence>> bindings)
+      : Evaluator(engine, options, /*pool=*/nullptr) {
+    bindings_ = std::move(bindings);
+    parallel_worker_ = true;
+  }
 
   StatusOr<Sequence> Evaluate(const AstNode& root) {
     return Eval(root, nullptr);
@@ -178,6 +196,9 @@ class Evaluator {
       }
       case ExprKind::kFor: {
         MHX_ASSIGN_OR_RETURN(Sequence seq, Eval(*node.children[0], context));
+        if (ShouldParallelize(*node.children[1], seq)) {
+          return EvalForParallel(node, context, std::move(seq));
+        }
         Sequence out;
         for (Item& item : seq) {
           bindings_.emplace_back(node.name, Sequence{std::move(item)});
@@ -197,6 +218,9 @@ class Evaluator {
       }
       case ExprKind::kQuantified: {
         MHX_ASSIGN_OR_RETURN(Sequence seq, Eval(*node.children[0], context));
+        if (ShouldParallelize(*node.children[1], seq)) {
+          return EvalQuantifiedParallel(node, context, std::move(seq));
+        }
         for (Item& item : seq) {
           bindings_.emplace_back(node.name, Sequence{std::move(item)});
           auto body = Eval(*node.children[1], context);
@@ -255,6 +279,183 @@ class Evaluator {
         return EvalConstructor(node, context);
     }
     return EvalErrorAt(node.offset, "unhandled expression kind");
+  }
+
+  // --- parallel FLWOR / quantifier fan-out ---------------------------------
+
+  // Fan out only from the coordinating evaluator (workers never nest — see
+  // the worker constructor), only when a pool exists, only when there is
+  // real fan-out to gain (2+ bindings), and only when the body provably
+  // cannot mutate shared document state.
+  bool ShouldParallelize(const AstNode& body, const Sequence& seq) const {
+    return pool_ != nullptr && !parallel_worker_ && options_->threads > 1 &&
+           seq.size() > 1 && IsParallelSafe(body);
+  }
+
+  // Carves the binding sequence into contiguous chunks, one pool task each.
+  // Chunking keeps per-task overhead (allocation, future, queue traffic)
+  // amortised over many bindings while mild oversubscription (4 chunks per
+  // worker) still balances uneven iteration costs.
+  std::vector<Sequence> ChunkBindings(Sequence seq) const {
+    const size_t target = static_cast<size_t>(options_->threads) * 4;
+    const size_t chunk_size =
+        std::max<size_t>(1, (seq.size() + target - 1) / target);
+    std::vector<Sequence> chunks;
+    chunks.reserve((seq.size() + chunk_size - 1) / chunk_size);
+    for (size_t begin = 0; begin < seq.size(); begin += chunk_size) {
+      const size_t end = std::min(begin + chunk_size, seq.size());
+      Sequence chunk;
+      chunk.reserve(end - begin);
+      std::move(seq.begin() + static_cast<ptrdiff_t>(begin),
+                seq.begin() + static_cast<ptrdiff_t>(end),
+                std::back_inserter(chunk));
+      chunks.push_back(std::move(chunk));
+    }
+    return chunks;
+  }
+
+  // One task per chunk of bindings; each task runs the serial loop over its
+  // chunk, and chunk results are concatenated in binding order — so the
+  // output is byte-identical to the serial loop. On error, the status of
+  // the earliest-bound failing iteration wins: within a chunk the task
+  // stops at its first failure (exactly as serial evaluation does), and
+  // across chunks the in-order join below keeps the earliest.
+  StatusOr<Sequence> EvalForParallel(const AstNode& node, const Item* context,
+                                     Sequence seq) {
+    std::vector<Sequence> chunks = ChunkBindings(std::move(seq));
+    engine_->parallel_tasks_.fetch_add(chunks.size(),
+                                       std::memory_order_relaxed);
+    std::vector<std::future<StatusOr<Sequence>>> futures;
+    futures.reserve(chunks.size());
+    for (Sequence& chunk : chunks) {
+      // Tasks read this evaluator's bindings_ (to snapshot them) and the
+      // caller-owned context item; both stay untouched until every future
+      // is joined below.
+      futures.push_back(pool_->Submit(
+          [this, &node, context,
+           chunk = std::move(chunk)]() mutable -> StatusOr<Sequence> {
+            Evaluator worker(engine_, options_, bindings_);
+            Sequence out;
+            for (Item& item : chunk) {
+              worker.bindings_.emplace_back(node.name,
+                                            Sequence{std::move(item)});
+              auto body = worker.Eval(*node.children[1], context);
+              worker.bindings_.pop_back();
+              if (!body.ok()) return body.status();
+              std::move(body->begin(), body->end(),
+                        std::back_inserter(out));
+            }
+            return out;
+          }));
+    }
+    Sequence out;
+    Status error = OkStatus();
+    std::exception_ptr thrown;
+    // Join every future even after a failure: tasks capture pointers into
+    // this stack frame, so no task may outlive this loop.
+    for (auto& future : futures) {
+      try {
+        StatusOr<Sequence> body = future.get();
+        if (!error.ok() || thrown != nullptr) continue;
+        if (!body.ok()) {
+          error = body.status();
+          continue;
+        }
+        std::move(body->begin(), body->end(), std::back_inserter(out));
+      } catch (...) {
+        if (thrown == nullptr) thrown = std::current_exception();
+      }
+    }
+    if (thrown != nullptr) std::rethrow_exception(thrown);
+    if (!error.ok()) return error;
+    return out;
+  }
+
+  // Parallel some/every with short-circuit cancellation: the first task to
+  // find a deciding binding (value != every) flips `decided`, and every
+  // task polls the flag between bindings — undecided work stops early
+  // instead of running its whole chunk. The quantifier's boolean is
+  // order-independent, so error-free evaluation equals serial exactly. The
+  // one residual divergence is error-vs-cancellation: a chunk skipped by
+  // the flag is never evaluated, so an error serial evaluation would have
+  // hit inside it can be answered with the (real) deciding boolean
+  // instead. An error in an evaluated chunk keeps serial precedence — see
+  // the join below.
+  StatusOr<Sequence> EvalQuantifiedParallel(const AstNode& node,
+                                            const Item* context,
+                                            Sequence seq) {
+    std::vector<Sequence> chunks = ChunkBindings(std::move(seq));
+    engine_->parallel_tasks_.fetch_add(chunks.size(),
+                                       std::memory_order_relaxed);
+    auto decided = std::make_shared<std::atomic<bool>>(false);
+    // What one chunk observed: kDecided — some binding had value != every
+    // (all earlier bindings of the chunk were non-deciding); kAllPassed —
+    // every binding evaluated, none decided; kSkipped — stopped early
+    // because another task decided.
+    enum class Outcome { kDecided, kAllPassed, kSkipped };
+    std::vector<std::future<StatusOr<Outcome>>> futures;
+    futures.reserve(chunks.size());
+    for (Sequence& chunk : chunks) {
+      futures.push_back(pool_->Submit(
+          [this, &node, context, decided,
+           chunk = std::move(chunk)]() mutable -> StatusOr<Outcome> {
+            Evaluator worker(engine_, options_, bindings_);
+            for (Item& item : chunk) {
+              if (decided->load(std::memory_order_relaxed)) {
+                return Outcome::kSkipped;
+              }
+              worker.bindings_.emplace_back(node.name,
+                                            Sequence{std::move(item)});
+              auto body = worker.Eval(*node.children[1], context);
+              worker.bindings_.pop_back();
+              if (!body.ok()) return body.status();
+              MHX_ASSIGN_OR_RETURN(
+                  bool value,
+                  worker.BooleanValue(*body, node.children[1]->offset));
+              if (value != node.every) {
+                decided->store(true, std::memory_order_relaxed);
+                return Outcome::kDecided;
+              }
+            }
+            return Outcome::kAllPassed;
+          }));
+    }
+    Status error = OkStatus();
+    std::exception_ptr thrown;
+    bool decided_in_order = false;
+    bool saw_skip = false;
+    for (auto& future : futures) {
+      try {
+        StatusOr<Outcome> outcome = future.get();
+        if (!error.ok() || thrown != nullptr || decided_in_order) continue;
+        if (!outcome.ok()) {
+          error = outcome.status();
+          continue;
+        }
+        switch (*outcome) {
+          case Outcome::kDecided:
+            decided_in_order = true;
+            break;
+          case Outcome::kSkipped:
+            saw_skip = true;  // a deciding binding exists somewhere
+            break;
+          case Outcome::kAllPassed:
+            break;
+        }
+      } catch (...) {
+        if (thrown == nullptr) thrown = std::current_exception();
+      }
+    }
+    if (thrown != nullptr) std::rethrow_exception(thrown);
+    // Chunk-order precedence, matching serial evaluation: the first chunk
+    // (in binding order) to decide or to error wins — the join loop above
+    // freezes on whichever came first. A skip only stands in for the
+    // decision when no earlier chunk errored: a skipped chunk proves a
+    // decider exists *somewhere*, not that it precedes the error.
+    if (decided_in_order) return Sequence{Item::Boolean(!node.every)};
+    if (!error.ok()) return error;
+    if (saw_skip) return Sequence{Item::Boolean(!node.every)};
+    return Sequence{Item::Boolean(node.every)};
   }
 
   // --- booleans, comparisons, arithmetic -----------------------------------
@@ -387,22 +588,103 @@ class Evaluator {
     }
     for (; step_index < path.steps.size(); ++step_index) {
       const PathStep& step = path.steps[step_index];
-      Sequence next;
       // Predicates are positional *per context node* (XPath semantics):
       // each context's step result is ordered and filtered on its own, and
-      // only then merged (with a final dedup + document-order sort).
+      // only then merged. Every producer declares an xpath::Ordering for its
+      // run; the declared guarantee replaces the former unconditional
+      // sort+dedup with the cheapest sufficient fix-up — nothing, a linear
+      // dedup, or (across runs) a linear k-way merge. QueryOptions::
+      // force_step_sort restores brute force so tests can pin equivalence.
+      std::vector<Sequence> runs;
+      runs.reserve(current.size());
       for (const Item& item : current) {
         Sequence from_item;
-        MHX_RETURN_IF_ERROR(EvalStep(item, step, path.offset, &from_item));
-        SortAndDedup(&from_item);
+        xpath::Ordering ordering = xpath::Ordering::kUnordered;
+        MHX_RETURN_IF_ERROR(
+            EvalStep(item, step, path.offset, &from_item, &ordering));
+        if (options_->force_step_sort) {
+          SortAndDedup(&from_item);
+        } else {
+          switch (ordering) {
+            case xpath::Ordering::kDocOrderNoDupes:
+              NoteSortSkipped(from_item);
+              break;
+            case xpath::Ordering::kSortedMayDupe:
+              DedupSorted(&from_item);
+              NoteSortSkipped(from_item);
+              break;
+            case xpath::Ordering::kUnordered:
+              SortAndDedup(&from_item);
+              break;
+          }
+        }
+        // Predicates only filter, so document order and uniqueness survive.
         MHX_RETURN_IF_ERROR(ApplyPredicates(step, path.offset, &from_item));
-        std::move(from_item.begin(), from_item.end(),
-                  std::back_inserter(next));
+        runs.push_back(std::move(from_item));
       }
-      SortAndDedup(&next);
-      current = std::move(next);
+      current = MergeDocOrderedRuns(std::move(runs));
     }
     return current;
+  }
+
+  // Merges per-context runs — each in document order without duplicates —
+  // into one such sequence. One run passes through untouched; k runs pay a
+  // heap-driven linear merge, whose raw output is kSortedMayDupe (distinct
+  // contexts can reach the same node) until the final linear dedup. Both
+  // paths replace the step loop's former full sort.
+  Sequence MergeDocOrderedRuns(std::vector<Sequence> runs) {
+    runs.erase(std::remove_if(runs.begin(), runs.end(),
+                              [](const Sequence& s) { return s.empty(); }),
+               runs.end());
+    if (runs.empty()) return {};
+    if (runs.size() == 1) {
+      if (options_->force_step_sort) {
+        SortAndDedup(&runs.front());
+      } else {
+        NoteSortSkipped(runs.front());
+      }
+      return std::move(runs.front());
+    }
+    if (options_->force_step_sort) {
+      Sequence merged;
+      for (Sequence& run : runs) {
+        std::move(run.begin(), run.end(), std::back_inserter(merged));
+      }
+      SortAndDedup(&merged);
+      return merged;
+    }
+    size_t total = 0;
+    for (const Sequence& run : runs) total += run.size();
+    struct Cursor {
+      size_t run;
+      size_t pos;
+    };
+    auto greater = [this, &runs](const Cursor& a, const Cursor& b) {
+      return DocOrderKey(runs[b.run][b.pos]) <
+             DocOrderKey(runs[a.run][a.pos]);
+    };
+    std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(
+        greater);
+    for (size_t r = 0; r < runs.size(); ++r) heap.push(Cursor{r, 0});
+    Sequence merged;
+    merged.reserve(total);
+    while (!heap.empty()) {
+      Cursor cursor = heap.top();
+      heap.pop();
+      merged.push_back(std::move(runs[cursor.run][cursor.pos]));
+      if (++cursor.pos < runs[cursor.run].size()) heap.push(cursor);
+    }
+    DedupSorted(&merged);
+    NoteSortSkipped(merged);
+    return merged;
+  }
+
+  // Counts a skipped sort+dedup pass. Singletons and empty sequences do not
+  // count — their sort was free anyway, and counting them would inflate the
+  // benchmark counter with vacuous wins.
+  void NoteSortSkipped(const Sequence& items) const {
+    if (items.size() < 2) return;
+    engine_->sorts_skipped_.fetch_add(1, std::memory_order_relaxed);
   }
 
   Status ApplyPredicates(const PathStep& step, size_t offset,
@@ -427,10 +709,13 @@ class Evaluator {
     return OkStatus();
   }
 
+  // Evaluates one axis step from one context item, declaring via `ordering`
+  // what the produced run guarantees (filters below never disturb an
+  // already-established order, they only remove items).
   Status EvalStep(const Item& item, const PathStep& step, size_t offset,
-                  Sequence* out) {
+                  Sequence* out, xpath::Ordering* ordering) {
     if (step.test == PathStep::Test::kLeaf) {
-      return EvalLeafStep(item, step, offset, out);
+      return EvalLeafStep(item, step, offset, out, ordering);
     }
     xpath::NodeTest test = step.test == PathStep::Test::kName
                                ? xpath::NodeTest::Name(step.name)
@@ -438,14 +723,21 @@ class Evaluator {
     std::vector<goddag::NodeId> ids;
     if (item.kind == Item::Kind::kNode) {
       ids = axes_.Evaluate(item.node, step.axis, test);
+      *ordering = xpath::AxisEvaluator::ResultOrdering(step.axis);
       if (xpath::IsExtendedAxis(step.axis)) {
         // The pinned index never sees temporary virtual hierarchies; scan
         // the delta naively (it is tiny next to the persistent document).
+        const size_t before = ids.size();
         AppendTemporaryMatches(step.axis, goddag_.node(item.node).range,
                                item.node, test, &ids);
+        // Delta hits land at the tail, outside document order.
+        if (ids.size() != before) *ordering = xpath::Ordering::kUnordered;
       }
     } else if (item.kind == Item::Kind::kLeaf) {
       MHX_RETURN_IF_ERROR(LeafContextStep(item.range, step.axis, offset, &ids));
+      // RangeIndex traversal (plus any temporary-delta tail) comes back in
+      // index order, not document order.
+      *ordering = xpath::Ordering::kUnordered;
       ids.erase(std::remove_if(ids.begin(), ids.end(),
                                [&](goddag::NodeId id) {
                                  return !test.Matches(goddag_.node(id));
@@ -527,7 +819,11 @@ class Evaluator {
   }
 
   Status EvalLeafStep(const Item& item, const PathStep& step, size_t offset,
-                      Sequence* out) {
+                      Sequence* out, xpath::Ordering* ordering) {
+    // Every production below emits leaves ascending by range with no
+    // repeats: the shared leaf partition is sorted, and child-axis
+    // filtering only removes items.
+    *ordering = xpath::Ordering::kDocOrderNoDupes;
     switch (step.axis) {
       case xpath::Axis::kSelf:
         if (item.kind == Item::Kind::kLeaf) out->push_back(item);
@@ -587,23 +883,24 @@ class Evaluator {
 
   // Document order over mixed node/leaf sequences: begin ascending, longer
   // range first, elements before the leaf sharing their range, NodeId as the
-  // final tiebreak. Duplicates (same node / same leaf reached from several
-  // context items) collapse.
-  void SortAndDedup(Sequence* items) const {
-    auto key = [this](const Item& item) {
-      const TextRange& r = item.kind == Item::Kind::kNode
-                               ? goddag_.node(item.node).range
-                               : item.range;
-      const int rank = item.kind == Item::Kind::kNode ? 0 : 1;
-      const goddag::NodeId id =
-          item.kind == Item::Kind::kNode ? item.node : 0;
-      return std::tuple<size_t, size_t, int, goddag::NodeId>(
-          r.begin, ~r.end, rank, id);  // ~end: longer ranges sort first
-    };
-    std::sort(items->begin(), items->end(),
-              [&](const Item& a, const Item& b) { return key(a) < key(b); });
+  // final tiebreak.
+  std::tuple<size_t, size_t, int, goddag::NodeId> DocOrderKey(
+      const Item& item) const {
+    const TextRange& r = item.kind == Item::Kind::kNode
+                             ? goddag_.node(item.node).range
+                             : item.range;
+    const int rank = item.kind == Item::Kind::kNode ? 0 : 1;
+    const goddag::NodeId id = item.kind == Item::Kind::kNode ? item.node : 0;
+    return std::tuple<size_t, size_t, int, goddag::NodeId>(
+        r.begin, ~r.end, rank, id);  // ~end: longer ranges sort first
+  }
+
+  // Collapses duplicates (same node / same leaf reached from several context
+  // items) in an already document-ordered sequence — the linear fix-up for
+  // xpath::Ordering::kSortedMayDupe.
+  void DedupSorted(Sequence* items) const {
     items->erase(std::unique(items->begin(), items->end(),
-                             [&](const Item& a, const Item& b) {
+                             [](const Item& a, const Item& b) {
                                if (a.kind != b.kind) return false;
                                if (a.kind == Item::Kind::kNode) {
                                  return a.node == b.node;
@@ -611,6 +908,15 @@ class Evaluator {
                                return a.range == b.range;
                              }),
                  items->end());
+  }
+
+  // Full normalisation for xpath::Ordering::kUnordered producers.
+  void SortAndDedup(Sequence* items) const {
+    std::sort(items->begin(), items->end(),
+              [this](const Item& a, const Item& b) {
+                return DocOrderKey(a) < DocOrderKey(b);
+              });
+    DedupSorted(items);
   }
 
   // --- functions -----------------------------------------------------------
@@ -686,16 +992,23 @@ class Evaluator {
 
   StatusOr<const regex::Regex*> CompiledRegex(const std::string& pattern,
                                               size_t offset) {
-    auto it = engine_->regex_cache_.find(pattern);
-    if (it == engine_->regex_cache_.end()) {
-      auto compiled = regex::Regex::Compile(pattern);
-      if (!compiled.ok()) {
-        return EvalErrorAt(offset, compiled.status().message());
-      }
-      it = engine_->regex_cache_
-               .emplace(pattern, std::move(compiled).value())
-               .first;
+    // Parallel workers hit this cache concurrently (matches() is
+    // parallel-safe); map nodes are address-stable, so the returned pointer
+    // outlives the lock.
+    {
+      std::lock_guard<std::mutex> lock(engine_->cache_mu_);
+      auto it = engine_->regex_cache_.find(pattern);
+      if (it != engine_->regex_cache_.end()) return &it->second;
     }
+    auto compiled = regex::Regex::Compile(pattern);  // outside the lock
+    if (!compiled.ok()) {
+      return EvalErrorAt(offset, compiled.status().message());
+    }
+    std::lock_guard<std::mutex> lock(engine_->cache_mu_);
+    // A racing compile of the same pattern keeps the first entry.
+    auto it = engine_->regex_cache_
+                  .emplace(pattern, std::move(compiled).value())
+                  .first;
     return &it->second;
   }
 
@@ -860,6 +1173,12 @@ class Evaluator {
   const goddag::KyGoddag& goddag_;
   goddag::KyGoddag* mutable_goddag_;
   const xpath::AxisEvaluator& axes_;
+  const QueryOptions* options_;
+  // Fan-out pool; null for serial evaluation and inside parallel workers.
+  base::ThreadPool* pool_;
+  // True in evaluators running as pool tasks: they must not fan out again
+  // (see the worker constructor).
+  bool parallel_worker_ = false;
   std::vector<std::pair<std::string, Sequence>> bindings_;
 };
 
@@ -868,10 +1187,24 @@ class Evaluator {
 Engine::Engine(const MultihierarchicalDocument* document)
     : document_(document) {}
 
-Engine::~Engine() { CleanupTemporaries(); }
+Engine::~Engine() {
+  // No lock: destruction implies no concurrent users.
+  CleanupTemporariesFrom(0, 0);
+}
 
 const xpath::AxisEvaluator& Engine::axes() {
+  // Guarded: concurrent evaluations (and every parallel worker's
+  // constructor) reach this; creation and the external-mutation repin must
+  // not race. In the steady state the critical section is two loads.
+  std::lock_guard<std::mutex> lock(cache_mu_);
   if (axes_ == nullptr) {
+    // Materialise the lazily built leaf partition exactly once, before any
+    // evaluation can reach it: a freshly Built document still has
+    // leaves_dirty_ set, and concurrent shared-lock queries (or pool
+    // workers) racing the rebuild inside goddag().leaves() would be a data
+    // race. After this, only exclusive evaluations dirty it again (and
+    // CleanupTemporariesFrom re-materialises before releasing the lock).
+    document_->goddag().leaves();
     axes_ = std::make_unique<xpath::AxisEvaluator>(&document_->goddag());
     // Freeze the index at the persistent snapshot; temporary virtual
     // hierarchies are evaluated by delta scan, never indexed.
@@ -884,6 +1217,7 @@ const xpath::AxisEvaluator& Engine::axes() {
     // end up both indexed and delta-scanned, which is harmless while they
     // live (step results dedup by node id); snapshot_has_temporaries_
     // makes their eventual removal repin (see CleanupTemporariesFrom).
+    document_->goddag().leaves();  // re-materialise, as in the init branch
     axes_->UnpinIndex();
     axes_->PinIndex();
     pinned_revision_ = document_->goddag().revision();
@@ -896,26 +1230,67 @@ size_t Engine::index_rebuild_count() const {
   return axes_ == nullptr ? 0 : axes_->index_rebuild_count();
 }
 
-StatusOr<std::vector<std::string>> Engine::EvaluateInternal(
-    std::string_view query, bool keep_temporaries) {
-  auto it = query_cache_.find(query);
-  if (it == query_cache_.end()) {
-    auto parsed = ParseQuery(query);
-    if (!parsed.ok()) return parsed.status();
-    it = query_cache_
-             .emplace(std::string(query), std::move(parsed).value())
-             .first;
+StatusOr<const Expr*> Engine::PreparedQuery(std::string_view query) {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = query_cache_.find(query);
+    if (it != query_cache_.end()) return it->second.get();
   }
+  auto parsed = ParseQuery(query);  // outside the lock
+  if (!parsed.ok()) return parsed.status();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  // A racing parse of the same query keeps the first entry; map nodes are
+  // address-stable, so the pointer stays valid for the engine's lifetime.
+  auto it = query_cache_
+                .emplace(std::string(query), std::move(parsed).value())
+                .first;
+  return it->second.get();
+}
+
+base::ThreadPool* Engine::pool(unsigned threads) {
+  if (threads <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (pool_ == nullptr || pool_->size() < threads) {
+    // Never destroy a pool another evaluation may still be running on:
+    // retire it (workers drain and idle) and keep it alive until the
+    // engine goes away.
+    if (pool_ != nullptr) retired_pools_.push_back(std::move(pool_));
+    pool_ = std::make_unique<base::ThreadPool>(threads);
+  }
+  return pool_.get();
+}
+
+StatusOr<std::vector<std::string>> Engine::EvaluateInternal(
+    std::string_view query, bool keep_temporaries,
+    const QueryOptions& options) {
+  MHX_ASSIGN_OR_RETURN(const Expr* expr, PreparedQuery(query));
+  base::ThreadPool* fan_out_pool = pool(options.threads);
+  // Side-effect-free queries evaluate concurrently; a query that can
+  // materialise temporary hierarchies mutates the shared KyGoddag and must
+  // exclude all readers.
+  if (IsParallelSafe(expr->root())) {
+    std::shared_lock<std::shared_mutex> lock(eval_mu_);
+    return EvaluateLocked(*expr, keep_temporaries, options, fan_out_pool);
+  }
+  std::unique_lock<std::shared_mutex> lock(eval_mu_);
+  return EvaluateLocked(*expr, keep_temporaries, options, fan_out_pool);
+}
+
+StatusOr<std::vector<std::string>> Engine::EvaluateLocked(
+    const Expr& expr, bool keep_temporaries, const QueryOptions& options,
+    base::ThreadPool* fan_out_pool) {
   // Pin the axis index before any temporaries can exist, so the snapshot
-  // only ever covers persistent nodes.
+  // only ever covers persistent nodes. Under the eval lock: the pin
+  // bookkeeping (pinned_revision_) must not race with an exclusive
+  // evaluation's analyze-string() mutations.
   axes();
   // Tear down only this evaluation's temporaries — hierarchies kept alive
   // by an earlier EvaluateKeepingTemporaries stay until the caller's
   // CleanupTemporaries.
   const size_t hierarchy_mark = temp_hierarchies_.size();
   const size_t node_mark = temp_nodes_.size();
-  Evaluator evaluator(this);
-  auto result = evaluator.Evaluate(it->second->root());
+  Evaluator evaluator(this, &options, fan_out_pool);
+  auto result = evaluator.Evaluate(expr.root());
   if (!result.ok()) {
     CleanupTemporariesFrom(hierarchy_mark, node_mark);
     return result.status();
@@ -932,8 +1307,14 @@ StatusOr<std::vector<std::string>> Engine::EvaluateInternal(
 }
 
 StatusOr<std::string> Engine::Evaluate(std::string_view query) {
-  MHX_ASSIGN_OR_RETURN(std::vector<std::string> items,
-                       EvaluateInternal(query, /*keep_temporaries=*/false));
+  return Evaluate(query, QueryOptions());
+}
+
+StatusOr<std::string> Engine::Evaluate(std::string_view query,
+                                       const QueryOptions& options) {
+  MHX_ASSIGN_OR_RETURN(
+      std::vector<std::string> items,
+      EvaluateInternal(query, /*keep_temporaries=*/false, options));
   std::string out;
   for (const std::string& item : items) out += item;
   return out;
@@ -941,10 +1322,13 @@ StatusOr<std::string> Engine::Evaluate(std::string_view query) {
 
 StatusOr<std::vector<std::string>> Engine::EvaluateKeepingTemporaries(
     std::string_view query) {
-  return EvaluateInternal(query, /*keep_temporaries=*/true);
+  return EvaluateInternal(query, /*keep_temporaries=*/true, QueryOptions());
 }
 
-void Engine::CleanupTemporaries() { CleanupTemporariesFrom(0, 0); }
+void Engine::CleanupTemporaries() {
+  std::unique_lock<std::shared_mutex> lock(eval_mu_);
+  CleanupTemporariesFrom(0, 0);
+}
 
 void Engine::CleanupTemporariesFrom(size_t hierarchy_mark, size_t node_mark) {
   if (temp_hierarchies_.size() <= hierarchy_mark) return;
@@ -956,6 +1340,10 @@ void Engine::CleanupTemporariesFrom(size_t hierarchy_mark, size_t node_mark) {
   }
   temp_hierarchies_.resize(hierarchy_mark);
   temp_nodes_.resize(node_mark);
+  // Materialise the (lazily rebuilt) leaf partition while this thread still
+  // holds the document exclusively — with incremental maintenance off, a
+  // later leaves() call would otherwise rebuild under a shared lock.
+  document_->goddag().leaves();
   // Our own mutations; see axes().
   pinned_revision_ = document_->goddag().revision();
   if (snapshot_has_temporaries_ && axes_ != nullptr) {

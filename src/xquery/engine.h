@@ -16,21 +16,42 @@
 // index_rebuild_count() (at most 1 per engine) is the proof, surfaced as a
 // benchmark counter in bench_paper_queries.cc.
 //
-// Not thread-safe: evaluation mutates the (logically const) document's
-// KyGoddag through analyze-string() temporaries and fills the
-// prepared-query/compiled-pattern caches. Serialise concurrent use
-// externally, or give each thread its own document.
+// Concurrency contract. Two independent levels:
+//
+//  * Across threads, Evaluate/EvaluateKeepingTemporaries may be called
+//    concurrently on one engine. Queries whose AST IsParallelSafe (no
+//    analyze-string(), so no temporary hierarchies) evaluate under a shared
+//    lock and run truly concurrently; queries that materialise temporaries
+//    (and CleanupTemporaries) take the lock exclusively, so their KyGoddag
+//    mutations never race with readers. The prepared-query and
+//    compiled-pattern caches are mutex-guarded.
+//  * Within one query, QueryOptions{threads > 1} fans independent FLWOR
+//    `for` iterations and some/every quantifier bindings out across a
+//    base::ThreadPool whenever the binding body IsParallelSafe, merging
+//    per-iteration results in binding order — results are byte-identical to
+//    serial evaluation, errors included, with one narrow exception: a
+//    quantifier binding that serial evaluation would have reported as an
+//    error can be skipped entirely by short-circuit cancellation when a
+//    genuinely deciding binding finishes first (the boolean returned is
+//    still correct for the bindings that exist).
+//
+// Mutating the document directly (mutable_goddag()) while any query runs
+// remains undefined behaviour, as does moving the document.
 
 #ifndef MHX_XQUERY_ENGINE_H_
 #define MHX_XQUERY_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "base/statusor.h"
+#include "base/thread_pool.h"
 #include "goddag/kygoddag.h"
 #include "regex/regex.h"
 #include "xpath/axes.h"
@@ -44,6 +65,21 @@ namespace mhx::xquery {
 class Expr;
 class Evaluator;
 
+// Per-evaluation knobs, passed alongside the query text.
+struct QueryOptions {
+  // Worker threads for intra-query fan-out. <= 1 evaluates serially. The
+  // engine keeps one shared pool, grown to the largest `threads` any
+  // evaluation has requested; `threads` also sets this evaluation's
+  // chunking granularity (4 chunks per requested thread), so a smaller
+  // request on a bigger shared pool can run wider than asked — treat the
+  // knob as a fan-out width, not a hard concurrency cap.
+  unsigned threads = 1;
+  // Testing only: ignore ordering guarantees and re-sort + dedup after every
+  // path step, as the engine did before guarantees existed. Lets tests pin
+  // that the guarantee-driven merge path is byte-identical to brute force.
+  bool force_step_sort = false;
+};
+
 class Engine {
  public:
   explicit Engine(const MultihierarchicalDocument* document);
@@ -53,6 +89,8 @@ class Engine {
   // concatenated without separators; leaves serialise as their base-text
   // characters, constructed elements as tags).
   StatusOr<std::string> Evaluate(std::string_view query);
+  StatusOr<std::string> Evaluate(std::string_view query,
+                                 const QueryOptions& options);
 
   // Evaluates a query but keeps any virtual hierarchies created by
   // analyze-string() alive so the caller can inspect (or benchmark) them.
@@ -75,6 +113,19 @@ class Engine {
     return temp_hierarchies_.size();
   }
 
+  // Path-step sort+dedup passes the step loop skipped because an ordering
+  // guarantee (xpath::Ordering) made them unnecessary — replaced by nothing
+  // (single sorted run) or by a linear merge. Monotonic over the engine's
+  // lifetime; relaxed counter, surfaced by bench_xquery.
+  size_t sorts_skipped() const {
+    return sorts_skipped_.load(std::memory_order_relaxed);
+  }
+
+  // FLWOR iterations / quantifier bindings dispatched to the thread pool.
+  size_t parallel_tasks() const {
+    return parallel_tasks_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class mhx::MultihierarchicalDocument;
   friend class Evaluator;
@@ -85,17 +136,34 @@ class Engine {
     document_ = document;
   }
 
-  // Parses `query` (or retrieves it from the prepared-query cache) and
-  // evaluates it; on success returns one serialised string per result item.
-  StatusOr<std::vector<std::string>> EvaluateInternal(std::string_view query,
-                                                      bool keep_temporaries);
+  // Parses `query` (or retrieves it from the prepared-query cache), decides
+  // the locking mode from IsParallelSafe, and evaluates; on success returns
+  // one serialised string per result item.
+  StatusOr<std::vector<std::string>> EvaluateInternal(
+      std::string_view query, bool keep_temporaries,
+      const QueryOptions& options);
+
+  // The evaluation body proper, running under the lock EvaluateInternal
+  // chose. `fan_out_pool` is null for serial evaluation.
+  StatusOr<std::vector<std::string>> EvaluateLocked(
+      const Expr& expr, bool keep_temporaries, const QueryOptions& options,
+      base::ThreadPool* fan_out_pool);
+
+  // Parses and caches `query` under cache_mu_; the returned Expr stays valid
+  // for the engine's lifetime (map nodes are stable).
+  StatusOr<const Expr*> PreparedQuery(std::string_view query);
 
   // Removes the temporary hierarchies (and their delta-scan nodes) past the
   // given high-water marks — evaluations tear down only their own
   // temporaries, never ones an earlier EvaluateKeepingTemporaries kept.
+  // Caller must hold eval_mu_ exclusively (or be the destructor).
   void CleanupTemporariesFrom(size_t hierarchy_mark, size_t node_mark);
 
   const xpath::AxisEvaluator& axes();
+
+  // The shared fan-out pool, created (and grown to the largest requested
+  // size) under cache_mu_. Returns nullptr for threads <= 1.
+  base::ThreadPool* pool(unsigned threads);
 
   const MultihierarchicalDocument* document_;
   // Lazily created, then pinned to the persistent snapshot (see header
@@ -114,13 +182,26 @@ class Engine {
   bool snapshot_has_temporaries_ = false;
   // Virtual hierarchies created by analyze-string() during the current (or
   // a kept) evaluation, plus all of their node ids — the delta the engine
-  // scans for extended axes.
+  // scans for extended axes. Only mutated under an exclusive eval_mu_.
   std::vector<goddag::HierarchyId> temp_hierarchies_;
   std::vector<goddag::NodeId> temp_nodes_;
   // Prepared-query and compiled-pattern caches (documents are immutable
-  // after Build, so both stay valid for the engine's lifetime).
+  // after Build, so both stay valid for the engine's lifetime). Guarded by
+  // cache_mu_; the mapped values live at stable addresses.
   std::map<std::string, std::unique_ptr<Expr>, std::less<>> query_cache_;
   std::map<std::string, regex::Regex, std::less<>> regex_cache_;
+
+  // Guards query_cache_, regex_cache_, pool_ creation, and axes_ creation.
+  std::mutex cache_mu_;
+  // Shared by side-effect-free evaluations, exclusive for evaluations that
+  // create temporary hierarchies and for CleanupTemporaries.
+  std::shared_mutex eval_mu_;
+  std::unique_ptr<base::ThreadPool> pool_;
+  // Pools superseded by a larger request; kept alive (idle) because an
+  // in-flight evaluation may still hold a pointer to one.
+  std::vector<std::unique_ptr<base::ThreadPool>> retired_pools_;
+  std::atomic<size_t> sorts_skipped_{0};
+  std::atomic<size_t> parallel_tasks_{0};
 };
 
 }  // namespace mhx::xquery

@@ -1,0 +1,122 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// The concurrency stress binary the TSan CI lane runs on its own: it
+// hammers every cross-thread path at once — shared-lock readers, the
+// exclusive analyze-string path, intra-query thread-pool fan-out, lazy
+// engine/axes/cache initialisation races, and the raw ThreadPool. Iteration
+// counts are deliberately modest: under TSan the point is interleaving
+// coverage, not throughput.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "document.h"
+#include "workload/generator.h"
+#include "workload/paper_data.h"
+
+namespace mhx {
+namespace {
+
+TEST(ConcurrencyStressTest, ColdEngineInitRace) {
+  // All threads race the lazy engine/axes/index creation on a fresh doc.
+  auto built = workload::BuildPaperDocument();
+  ASSERT_TRUE(built.ok()) << built.status();
+  MultihierarchicalDocument doc = std::move(built).value();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&doc, &failures] {
+      auto out = doc.Query(workload::kQueryI1);
+      if (!out.ok() || *out != workload::kExpectedI1) ++failures;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyStressTest, MixedWorkloadOnOneDocument) {
+  workload::EditionConfig config;
+  config.seed = 31;
+  config.word_count = 120;
+  config.damage_coverage = 0.12;
+  config.restoration_coverage = 0.15;
+  auto built = workload::BuildEditionDocument(config);
+  ASSERT_TRUE(built.ok()) << built.status();
+  MultihierarchicalDocument doc = std::move(built).value();
+
+  QueryOptions parallel;
+  parallel.threads = 3;
+
+  const std::string flwor_expected =
+      *doc.Query("for $w in /descendant::w return string-length(string($w))");
+  const std::string count_expected =
+      *doc.Query("count(/descendant::w[overlapping::line])");
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  // Shared-lock readers, some with intra-query fan-out.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 8; ++i) {
+        auto out = t % 2 == 0
+                       ? doc.Query(
+                             "for $w in /descendant::w return "
+                             "string-length(string($w))",
+                             parallel)
+                       : doc.Query("count(/descendant::w[overlapping::line])");
+        const std::string& expected =
+            t % 2 == 0 ? flwor_expected : count_expected;
+        if (!out.ok() || *out != expected) ++failures;
+      }
+    });
+  }
+  // Exclusive-lock writers: analyze-string creates and tears down temporary
+  // virtual hierarchies between the readers' evaluations.
+  threads.emplace_back([&doc, &failures] {
+    for (int i = 0; i < 6; ++i) {
+      auto out = doc.Query(
+          "for $w in /descendant::w[matches(string(.), 'ea')] return "
+          "count(analyze-string($w, '.*ea.*')/descendant::leaf())");
+      if (!out.ok()) ++failures;
+    }
+  });
+  // Quantifier fan-out with short-circuit cancellation.
+  threads.emplace_back([&doc, &parallel, &failures] {
+    for (int i = 0; i < 6; ++i) {
+      auto out = doc.Query(
+          "some $w in /descendant::w satisfies "
+          "string-length(string($w)) > 9",
+          parallel);
+      if (!out.ok()) ++failures;
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(doc.engine()->temporary_hierarchy_count(), 0u);
+}
+
+TEST(ConcurrencyStressTest, ThreadPoolSubmitRace) {
+  base::ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &sum] {
+      std::vector<std::future<int>> futures;
+      for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.Submit([i] { return i; }));
+      }
+      for (auto& future : futures) sum += future.get();
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+  EXPECT_EQ(sum.load(), 4L * (49 * 50 / 2));
+}
+
+}  // namespace
+}  // namespace mhx

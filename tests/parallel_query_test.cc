@@ -1,0 +1,246 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// The parallel-evaluation and ordering-guarantee contracts:
+//  * QueryOptions{threads} results are byte-identical to serial evaluation,
+//    on the paper's Section 4 queries and on synthetic editions;
+//  * IsParallelSafe classifies side-effecting subtrees correctly;
+//  * concurrent doc->Query() calls on one document are safe;
+//  * the guarantee-driven step merge equals brute-force sort+dedup
+//    (QueryOptions::force_step_sort) for every axis.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "document.h"
+#include "workload/generator.h"
+#include "workload/paper_data.h"
+#include "xquery/ast.h"
+#include "xquery/parser.h"
+
+namespace mhx::xquery {
+namespace {
+
+QueryOptions Threads(unsigned n) {
+  QueryOptions options;
+  options.threads = n;
+  return options;
+}
+
+class ParallelQueryTest : public ::testing::Test {
+ protected:
+  ParallelQueryTest() {
+    auto paper = workload::BuildPaperDocument();
+    EXPECT_TRUE(paper.ok()) << paper.status();
+    paper_ = std::make_unique<MultihierarchicalDocument>(
+        std::move(paper).value());
+
+    workload::EditionConfig config;
+    config.seed = 29;
+    config.word_count = 200;
+    config.damage_coverage = 0.12;
+    config.restoration_coverage = 0.15;
+    auto edition = workload::BuildEditionDocument(config);
+    EXPECT_TRUE(edition.ok()) << edition.status();
+    edition_ = std::make_unique<MultihierarchicalDocument>(
+        std::move(edition).value());
+  }
+
+  static std::string MustQuery(const MultihierarchicalDocument& doc,
+                               std::string_view query,
+                               const QueryOptions& options) {
+    auto out = doc.Query(query, options);
+    EXPECT_TRUE(out.ok()) << query << "\n" << out.status();
+    return out.ok() ? *out : "<error>";
+  }
+
+  std::unique_ptr<MultihierarchicalDocument> paper_;
+  std::unique_ptr<MultihierarchicalDocument> edition_;
+};
+
+// --- parallel == serial ----------------------------------------------------
+
+TEST_F(ParallelQueryTest, Section4QueriesByteIdenticalWithFourThreads) {
+  const char* queries[] = {workload::kQueryI1, workload::kQueryI2,
+                           workload::kQueryII1, workload::kQueryIII1Intent};
+  for (const char* query : queries) {
+    EXPECT_EQ(MustQuery(*paper_, query, Threads(1)),
+              MustQuery(*paper_, query, Threads(4)))
+        << query;
+  }
+}
+
+TEST_F(ParallelQueryTest, EditionFlworByteIdenticalAndActuallyParallel) {
+  const char* query =
+      "for $w in /descendant::w return <l>{string-length(string($w))}</l>";
+  const std::string serial = MustQuery(*edition_, query, Threads(1));
+  const size_t tasks_before = edition_->engine()->parallel_tasks();
+  EXPECT_EQ(serial, MustQuery(*edition_, query, Threads(4)));
+  // The body is parallel-safe and binds many words: the fan-out must have
+  // actually dispatched tasks, not silently fallen back to serial.
+  EXPECT_GT(edition_->engine()->parallel_tasks(), tasks_before);
+}
+
+TEST_F(ParallelQueryTest, QuantifiersByteIdenticalWithFourThreads) {
+  const char* queries[] = {
+      "count(/descendant::line[some $w in xdescendant::w satisfies "
+      "string-length(string($w)) > 10])",
+      "count(/descendant::line[every $w in xdescendant::w satisfies "
+      "string-length(string($w)) > 1])",
+      "some $w in /descendant::w satisfies matches(string($w), 'ea')",
+      "every $w in /descendant::w satisfies string-length(string($w)) > 0",
+  };
+  for (const char* query : queries) {
+    EXPECT_EQ(MustQuery(*edition_, query, Threads(1)),
+              MustQuery(*edition_, query, Threads(4)))
+        << query;
+  }
+}
+
+TEST_F(ParallelQueryTest, ErrorsSurfaceFromParallelIterations) {
+  // $undefined errors in every iteration; parallel evaluation must report
+  // the same status an all-serial run does.
+  const char* query = "for $w in /descendant::w return $undefined";
+  auto serial = edition_->Query(query, Threads(1));
+  auto parallel = edition_->Query(query, Threads(4));
+  ASSERT_FALSE(serial.ok());
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(serial.status().code(), parallel.status().code());
+  EXPECT_EQ(serial.status().message(), parallel.status().message());
+}
+
+// --- IsParallelSafe --------------------------------------------------------
+
+TEST(IsParallelSafeTest, ClassifiesSubtrees) {
+  struct Case {
+    const char* query;
+    bool safe;
+  };
+  const Case cases[] = {
+      {"for $w in /descendant::w return string($w)", true},
+      {"count(/descendant::w[string-length(string(.)) > 8])", true},
+      {"some $w in /descendant::w satisfies matches(string($w), 'a')", true},
+      // Constructors are pure fragments here — parallel-safe.
+      {"for $w in /descendant::w return <b>{$w}</b>", true},
+      // analyze-string materialises temporary hierarchies: unsafe...
+      {"analyze-string(/descendant::w, 'a')", false},
+      // ...wherever it hides: constructor content, predicates, attributes.
+      {"for $w in /descendant::w return "
+       "<r>{analyze-string($w, 'a')}</r>",
+       false},
+      {"count(/descendant::w[analyze-string(., 'a')])", false},
+      {"for $w in /descendant::w return "
+       "<r id=\"{analyze-string($w, 'a')}\"/>",
+       false},
+  };
+  for (const Case& c : cases) {
+    auto expr = ParseQuery(c.query);
+    ASSERT_TRUE(expr.ok()) << c.query << "\n" << expr.status();
+    EXPECT_EQ(IsParallelSafe((*expr)->root()), c.safe) << c.query;
+  }
+}
+
+// --- concurrent doc->Query() ----------------------------------------------
+
+TEST_F(ParallelQueryTest, ConcurrentQueriesOnOneDocument) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &failures] {
+      for (int i = 0; i < kIterations; ++i) {
+        auto out = paper_->Query(workload::kQueryI1);
+        if (!out.ok() || *out != workload::kExpectedI1) ++failures;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ParallelQueryTest, ConcurrentSafeAndTemporaryCreatingQueries) {
+  // Readers under the shared lock race an analyze-string query that takes
+  // the exclusive lock; both must keep producing their pinned outputs, and
+  // no temporaries may leak.
+  constexpr int kIterations = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([this, &failures] {
+      for (int i = 0; i < kIterations; ++i) {
+        auto out = paper_->Query(workload::kQueryI1);
+        if (!out.ok() || *out != workload::kExpectedI1) ++failures;
+      }
+    });
+  }
+  threads.emplace_back([this, &failures] {
+    for (int i = 0; i < kIterations; ++i) {
+      auto out = paper_->Query(workload::kQueryII1);
+      if (!out.ok()) ++failures;
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(paper_->engine()->temporary_hierarchy_count(), 0u);
+}
+
+// --- ordering guarantees ---------------------------------------------------
+
+// Every axis (standard, extended, and the leaf() node test), evaluated from
+// many context nodes so the cross-context merge runs: the guarantee-driven
+// path must serialise byte-identically to brute-force sort+dedup.
+TEST_F(ParallelQueryTest, GuaranteeDrivenMergeMatchesBruteForcePerAxis) {
+  const char* queries[] = {
+      "/descendant::w/self::w",
+      "/descendant::line/child::*",
+      "/descendant::w/parent::s",
+      "/descendant::s/descendant::w",
+      "/descendant::s/descendant-or-self::*",
+      "/descendant::w/ancestor::*",
+      "/descendant::w/ancestor-or-self::*",
+      "/descendant::w/following-sibling::w",
+      "/descendant::w/preceding-sibling::w",
+      "/descendant::w/following::w",
+      "/descendant::w/preceding::w",
+      "/descendant::w/xancestor::line",
+      "/descendant::line/xdescendant::w",
+      "/descendant::w/overlapping::line",
+      "/descendant::w/xfollowing::dmg",
+      "/descendant::w/xpreceding::res",
+      "/descendant::line/descendant::leaf()",
+      "/descendant::w/descendant::leaf()/ancestor::line",
+      "/descendant::dmg/xdescendant::w/xancestor::line",
+  };
+  QueryOptions brute;
+  brute.force_step_sort = true;
+  for (const char* query : queries) {
+    EXPECT_EQ(MustQuery(*edition_, query, QueryOptions()),
+              MustQuery(*edition_, query, brute))
+        << query;
+  }
+}
+
+TEST_F(ParallelQueryTest, LeafScanSkipsSorts) {
+  const size_t before = edition_->engine()->sorts_skipped();
+  auto out = edition_->Query("count(/descendant::leaf())");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_GT(edition_->engine()->sorts_skipped(), before);
+}
+
+TEST_F(ParallelQueryTest, ForceStepSortSkipsNothing) {
+  QueryOptions brute;
+  brute.force_step_sort = true;
+  // Prime the cache so the measured evaluation is the only variable.
+  ASSERT_TRUE(edition_->Query("/descendant::s/descendant::w", brute).ok());
+  const size_t before = edition_->engine()->sorts_skipped();
+  ASSERT_TRUE(edition_->Query("/descendant::s/descendant::w", brute).ok());
+  EXPECT_EQ(edition_->engine()->sorts_skipped(), before);
+}
+
+}  // namespace
+}  // namespace mhx::xquery

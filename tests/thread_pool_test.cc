@@ -1,0 +1,87 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "base/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace mhx::base {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 1; });
+  auto bad = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must still be alive.
+  EXPECT_EQ(pool.Submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  // Two tasks that each wait for the other's side effect: they can only
+  // both finish if two workers run them at the same time.
+  std::atomic<int> arrivals{0};
+  auto rendezvous = [&arrivals] {
+    ++arrivals;
+    while (arrivals.load() < 2) std::this_thread::yield();
+    return arrivals.load();
+  };
+  auto a = pool.Submit(rendezvous);
+  auto b = pool.Submit(rendezvous);
+  EXPECT_EQ(a.get(), 2);
+  EXPECT_EQ(b.get(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(pool.Submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++executed;
+      }));
+    }
+    // Destruction joins after the queue drains.
+  }
+  EXPECT_EQ(executed.load(), 16);
+  for (auto& future : futures) future.get();  // all ready, none broken
+}
+
+TEST(ThreadPoolTest, MoveOnlyResultsAndVoidTasks) {
+  ThreadPool pool(2);
+  auto moved = pool.Submit([] { return std::make_unique<int>(41); });
+  auto voided = pool.Submit([] {});
+  EXPECT_EQ(*moved.get(), 41);
+  voided.get();
+}
+
+}  // namespace
+}  // namespace mhx::base

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+# Copyright (c) mhxq authors. Licensed under the MIT license.
+"""Diff two google-benchmark JSON files and flag regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.20]
+                           [--metric real_time]
+
+Compares benchmarks present in both files by name. A benchmark whose
+candidate time exceeds baseline * (1 + threshold) is a regression; the
+script prints a table of all common benchmarks and exits 1 if any
+regressed. Aggregate entries (BigO / RMS / mean / median / stddev rows)
+are skipped — their units differ and complexity fits are compared more
+meaningfully by eye.
+
+CI uploads every smoke run's bench_<name>.json as a workflow artifact, so
+a perf trajectory can be replayed by downloading two runs' artifacts and
+diffing them with this tool.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path, metric):
+    """Returns {name: (value, time_unit)} for real (non-aggregate) runs."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        # run_type is "iteration" for real runs, "aggregate" for BigO/RMS/
+        # mean/etc. Older benchmark versions omit run_type but still set
+        # aggregate_name on aggregates.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        if bench.get("aggregate_name"):
+            continue
+        name = bench.get("name")
+        if name is None or metric not in bench:
+            continue
+        out[name] = (float(bench[metric]), bench.get("time_unit", "ns"))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("candidate", help="candidate benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative slowdown that counts as a regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="real_time",
+        choices=["real_time", "cpu_time"],
+        help="which per-iteration time to compare (default real_time)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline, args.metric)
+    candidate = load_benchmarks(args.candidate, args.metric)
+    common = sorted(set(baseline) & set(candidate))
+    if not common:
+        print("bench_compare: no common benchmarks between "
+              f"{args.baseline} and {args.candidate}", file=sys.stderr)
+        return 2
+
+    only_base = sorted(set(baseline) - set(candidate))
+    only_cand = sorted(set(candidate) - set(baseline))
+
+    name_width = max(len(n) for n in common)
+    regressions = []
+    print(f"{'benchmark':<{name_width}}  {'baseline':>12}  "
+          f"{'candidate':>12}  {'delta':>8}")
+    for name in common:
+        base_value, unit = baseline[name]
+        cand_value, _ = candidate[name]
+        delta = (cand_value - base_value) / base_value if base_value else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:<{name_width}}  {base_value:>10.0f}{unit:>2}  "
+              f"{cand_value:>10.0f}{unit:>2}  {delta:>+7.1%}{flag}")
+
+    for name in only_base:
+        print(f"(only in baseline)  {name}")
+    for name in only_cand:
+        print(f"(only in candidate) {name}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) over "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions over {args.threshold:.0%} "
+          f"({len(common)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
