@@ -12,6 +12,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "INVALID_ARGUMENT";
     case StatusCode::kNotFound:
       return "NOT_FOUND";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
     case StatusCode::kOutOfRange:
       return "OUT_OF_RANGE";
     case StatusCode::kFailedPrecondition:
@@ -41,6 +43,9 @@ Status InvalidArgumentError(std::string message) {
 }
 Status NotFoundError(std::string message) {
   return Status(StatusCode::kNotFound, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 Status OutOfRangeError(std::string message) {
   return Status(StatusCode::kOutOfRange, std::move(message));

@@ -19,6 +19,7 @@ enum class StatusCode : int {
   kOk = 0,
   kInvalidArgument = 3,
   kNotFound = 5,
+  kResourceExhausted = 8,
   kOutOfRange = 11,
   kFailedPrecondition = 9,
   kUnimplemented = 12,
@@ -59,6 +60,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 Status OkStatus();
 Status InvalidArgumentError(std::string message);
 Status NotFoundError(std::string message);
+Status ResourceExhaustedError(std::string message);
 Status OutOfRangeError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);

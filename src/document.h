@@ -88,12 +88,14 @@ class MultihierarchicalDocument {
   // (items concatenate without separators; leaves serialise as their
   // base-text characters, constructed elements as tags).
   //
-  // Thread-safe: concurrent Query calls on one document are supported.
-  // Queries free of analyze-string() run truly concurrently (shared lock);
-  // queries that materialise temporary virtual hierarchies serialise
-  // against everything else (exclusive lock). See the concurrency contract
-  // in xquery/engine.h. Mutating the document (mutable_goddag()) or moving
-  // it while queries run remains undefined behaviour.
+  // Thread-safe: any number of concurrent Query calls on one document run
+  // truly concurrently — analyze-string() included. Queries never mutate
+  // the document: temporary virtual hierarchies live in evaluation-scoped
+  // overlay namespaces over the immutable base KyGoddag and are dropped
+  // when the evaluation returns, so there is no evaluation lock and no
+  // exclusive path. See the concurrency contract in xquery/engine.h.
+  // Mutating the document (mutable_goddag()) or moving it while queries
+  // run remains undefined behaviour.
   StatusOr<std::string> Query(std::string_view query) const;
 
   // As above, with per-query options — QueryOptions{.threads = 4} fans

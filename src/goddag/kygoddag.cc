@@ -99,49 +99,53 @@ StatusOr<HierarchyId> KyGoddag::AddHierarchy(const std::string& name,
   return hid;
 }
 
-StatusOr<HierarchyId> KyGoddag::AddVirtualHierarchy(
-    const std::string& name, std::vector<VirtualElement> elements) {
-  const size_t n = base_text_.size();
-  for (const VirtualElement& e : elements) {
+Status SortAndValidateVirtualElements(size_t text_size,
+                                      std::vector<VirtualElement>* elements) {
+  for (const VirtualElement& e : *elements) {
     if (e.range.empty()) {
       return InvalidArgumentError("virtual element '" + e.name +
                                   "' has an empty range " +
                                   e.range.ToString());
     }
-    if (e.range.end > n) {
+    if (e.range.end > text_size) {
       return OutOfRangeError("virtual element '" + e.name + "' range " +
                              e.range.ToString() + " exceeds base text size " +
-                             std::to_string(n));
+                             std::to_string(text_size));
     }
   }
   // Document order; with this ordering a containing element always comes
   // before the elements it contains, so a single stack pass both validates
   // nesting and builds the tree (overlap detection happens during the pass:
   // a popped element that still reaches into the next one is a conflict).
-  std::sort(elements.begin(), elements.end(),
+  std::sort(elements->begin(), elements->end(),
             [](const VirtualElement& a, const VirtualElement& b) {
               return a.range < b.range;
             });
-  {
-    std::vector<const VirtualElement*> stack;
-    for (const VirtualElement& e : elements) {
-      const VirtualElement* last_popped = nullptr;
-      while (!stack.empty() && !stack.back()->range.Contains(e.range)) {
-        last_popped = stack.back();
-        stack.pop_back();
-      }
-      // Sorted order guarantees last_popped->range.begin <= e.range.begin and
-      // rules out e containing last_popped, so reaching into e means proper
-      // overlap.
-      if (last_popped != nullptr && last_popped->range.end > e.range.begin) {
-        return InvalidArgumentError(
-            "virtual elements '" + last_popped->name + "' " +
-            last_popped->range.ToString() + " and '" + e.name + "' " +
-            e.range.ToString() + " overlap within one hierarchy");
-      }
-      stack.push_back(&e);
+  std::vector<const VirtualElement*> stack;
+  for (const VirtualElement& e : *elements) {
+    const VirtualElement* last_popped = nullptr;
+    while (!stack.empty() && !stack.back()->range.Contains(e.range)) {
+      last_popped = stack.back();
+      stack.pop_back();
     }
+    // Sorted order guarantees last_popped->range.begin <= e.range.begin and
+    // rules out e containing last_popped, so reaching into e means proper
+    // overlap.
+    if (last_popped != nullptr && last_popped->range.end > e.range.begin) {
+      return InvalidArgumentError(
+          "virtual elements '" + last_popped->name + "' " +
+          last_popped->range.ToString() + " and '" + e.name + "' " +
+          e.range.ToString() + " overlap within one hierarchy");
+    }
+    stack.push_back(&e);
   }
+  return OkStatus();
+}
+
+StatusOr<HierarchyId> KyGoddag::AddVirtualHierarchy(
+    const std::string& name, std::vector<VirtualElement> elements) {
+  const size_t n = base_text_.size();
+  MHX_RETURN_IF_ERROR(SortAndValidateVirtualElements(n, &elements));
 
   HierarchyId hid = AllocateHierarchySlot();
   Hierarchy& h = hierarchies_[hid];

@@ -79,6 +79,15 @@ struct Leaf {
   TextRange range;
 };
 
+// Sorts `elements` into document order (range begin ascending, containing
+// element before contained) and validates them as one tree over a base text
+// of `text_size` characters: every range non-empty and in bounds, no two
+// elements properly overlapping. Shared by KyGoddag::AddVirtualHierarchy
+// (document-resident virtual hierarchies) and GoddagOverlay (evaluation-
+// scoped hierarchies, goddag/overlay.h).
+Status SortAndValidateVirtualElements(size_t text_size,
+                                      std::vector<VirtualElement>* elements);
+
 class KyGoddag {
  public:
   explicit KyGoddag(std::string base_text);

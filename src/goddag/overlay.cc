@@ -1,0 +1,162 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "goddag/overlay.h"
+
+#include <algorithm>
+
+namespace mhx::goddag {
+
+namespace {
+// Ids run from kOverlayIdBit to kOverlayIdBit | kMaxOverlayOffset - 1;
+// kInvalidNode (all bits set) stays unreachable.
+constexpr uint32_t kMaxOverlayOffset = 0x7FFFFFFFu;
+}  // namespace
+
+NodeId OverlayIdAllocator::Allocate(size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count > kMaxOverlayOffset - next_) return kInvalidNode;
+  NodeId begin = kOverlayIdBit | next_;
+  next_ += static_cast<uint32_t>(count);
+  outstanding_ += count;
+  return begin;
+}
+
+void OverlayIdAllocator::Release(NodeId begin, size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  outstanding_ -= count;
+  if (outstanding_ == 0) {
+    // Fully drained — the steady state between queries when nothing is
+    // kept: reset wholesale.
+    next_ = 0;
+    freed_.clear();
+    return;
+  }
+  freed_[begin & ~kOverlayIdBit] = static_cast<uint32_t>(count);
+  // Rewind the cursor over the contiguous released suffix, so churn above
+  // a long-lived kept block keeps reusing the same ids instead of walking
+  // off the end of the namespace.
+  while (!freed_.empty()) {
+    auto last = std::prev(freed_.end());
+    if (last->first + last->second != next_) break;
+    next_ = last->first;
+    freed_.erase(last);
+  }
+}
+
+StatusOr<std::shared_ptr<const GoddagOverlay>> GoddagOverlay::Create(
+    const KyGoddag* base, std::shared_ptr<OverlayIdAllocator> ids,
+    const std::string& name, std::vector<VirtualElement> elements) {
+  const size_t n = base->base_text().size();
+  MHX_RETURN_IF_ERROR(SortAndValidateVirtualElements(n, &elements));
+
+  const size_t count = elements.size() + 1;  // + auto-created root
+  NodeId id_begin = ids->Allocate(count);
+  if (id_begin == kInvalidNode) {
+    return ResourceExhaustedError(
+        "overlay id namespace exhausted (2^31 overlay nodes alive)");
+  }
+  auto overlay = std::shared_ptr<GoddagOverlay>(
+      new GoddagOverlay(std::move(ids), id_begin));
+  overlay->arena_.resize(count);
+
+  GNode& root = overlay->arena_[0];
+  root.kind = GNodeKind::kElement;
+  root.hierarchy = kOverlayHierarchy;
+  root.name = name;
+  root.range = TextRange(0, n);
+  root.parent = base->root();
+
+  // Elements arrive in document order, so a single stack pass builds the
+  // tree (exactly as KyGoddag::AddVirtualHierarchy does for its arena).
+  std::vector<NodeId> stack = {id_begin};
+  NodeId next = id_begin + 1;
+  for (VirtualElement& e : elements) {
+    while (stack.size() > 1 &&
+           !overlay->node(stack.back()).range.Contains(e.range)) {
+      stack.pop_back();
+    }
+    GNode& node = overlay->arena_[next - id_begin];
+    node.kind = GNodeKind::kElement;
+    node.hierarchy = kOverlayHierarchy;
+    node.name = std::move(e.name);
+    node.attributes = std::move(e.attributes);
+    node.range = e.range;
+    node.parent = stack.back();
+    overlay->arena_[stack.back() - id_begin].children.push_back(next);
+    stack.push_back(next);
+    ++next;
+  }
+  return std::shared_ptr<const GoddagOverlay>(std::move(overlay));
+}
+
+GoddagOverlay::~GoddagOverlay() { ids_->Release(id_begin_, arena_.size()); }
+
+void OverlayView::AddOverlay(std::shared_ptr<const GoddagOverlay> overlay) {
+  auto it = std::upper_bound(
+      overlays_.begin(), overlays_.end(), overlay->id_begin(),
+      [](NodeId begin, const std::shared_ptr<const GoddagOverlay>& o) {
+        return begin < o->id_begin();
+      });
+  overlays_.insert(it, overlay);
+  unspliced_.push_back(std::move(overlay));
+}
+
+const std::vector<Leaf>& OverlayView::leaves() const {
+  if (!has_overlays()) return base_->leaves();
+  // Workers sharing the view may race the first materialisation; in the
+  // steady state this is an empty-queue check under an uncontended mutex.
+  // AddOverlay (owner only, never concurrent with readers) just queues.
+  std::lock_guard<std::mutex> lock(leaves_mu_);
+  if (!merged_init_) {
+    merged_leaves_ = base_->leaves();
+    merged_init_ = true;
+  }
+  // Drain incrementally: boundaries only accumulate within a view, so each
+  // overlay is spliced exactly once no matter how AddOverlay calls
+  // interleave with leaf() steps — never a from-scratch rebuild. (Each
+  // root's 0/n boundaries are partition edges already, so splicing them
+  // no-ops.)
+  for (const auto& overlay : unspliced_) {
+    for (NodeId id = overlay->root(); id < overlay->id_end(); ++id) {
+      const TextRange& range = overlay->node(id).range;
+      SpliceBoundary(range.begin);
+      SpliceBoundary(range.end);
+    }
+  }
+  unspliced_.clear();
+  return merged_leaves_;
+}
+
+void OverlayView::SpliceBoundary(size_t pos) const {
+  if (pos == 0 || pos >= base_->base_text().size()) return;
+  // The partition tiles [0, n), so exactly one cell has end > pos; split it
+  // unless pos is already one of its edges.
+  auto it = std::upper_bound(merged_leaves_.begin(), merged_leaves_.end(),
+                             pos, [](size_t p, const Leaf& leaf) {
+                               return p < leaf.range.end;
+                             });
+  if (it == merged_leaves_.end() || it->range.begin >= pos) return;
+  const size_t leaf_end = it->range.end;
+  it->range.end = pos;
+  merged_leaves_.insert(it + 1, Leaf{TextRange(pos, leaf_end)});
+}
+
+const GoddagOverlay* OverlayView::overlay_of(NodeId id) const {
+  // The overlay whose id_begin is the last <= id; blocks are disjoint, so
+  // either it contains the id or nothing does.
+  auto it = std::upper_bound(
+      overlays_.begin(), overlays_.end(), id,
+      [](NodeId value, const std::shared_ptr<const GoddagOverlay>& o) {
+        return value < o->id_begin();
+      });
+  if (it == overlays_.begin()) return nullptr;
+  const GoddagOverlay* overlay = (it - 1)->get();
+  return overlay->Contains(id) ? overlay : nullptr;
+}
+
+std::string OverlayView::NodeString(NodeId id) const {
+  const TextRange& r = node(id).range;
+  return base_->base_text().substr(r.begin, r.length());
+}
+
+}  // namespace mhx::goddag

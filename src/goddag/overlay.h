@@ -1,0 +1,201 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// Evaluation-scoped hierarchy overlays. A GoddagOverlay is one temporary
+// virtual hierarchy (the kind analyze-string() materialises) held in a
+// private node arena *outside* the base KyGoddag: the base document is never
+// mutated, so any number of evaluations can build, read, and drop overlays
+// concurrently while sharing one immutable base.
+//
+// Id namespace: overlay nodes live in the upper half of the NodeId space
+// (kOverlayIdBit set). Blocks of ids are leased from an OverlayIdAllocator
+// shared by every overlay that can ever meet in one view, so overlay ids
+// never collide with base ids or with each other. An OverlayView is the
+// single node-resolution seam readers go through: it resolves base ids
+// against the KyGoddag, overlay ids against the (few) overlays registered
+// with it, and maintains the merged leaf partition (base leaves re-split at
+// overlay element boundaries).
+//
+// Lifetime rules: an overlay is immutable after Create and refcounted
+// (shared_ptr); it releases its id block on destruction. A view registers
+// overlays but never outlives the evaluation that owns it; the XQuery
+// engine keeps an evaluation's overlays alive past the evaluation only
+// through the KeptTemporaries handle (xquery/engine.h).
+
+#ifndef MHX_GODDAG_OVERLAY_H_
+#define MHX_GODDAG_OVERLAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "goddag/kygoddag.h"
+
+namespace mhx::goddag {
+
+// Overlay node ids occupy the upper half of the NodeId space. kInvalidNode
+// also has the bit set and is never a valid overlay id.
+inline constexpr NodeId kOverlayIdBit = 0x80000000u;
+
+inline bool IsOverlayId(NodeId id) {
+  return (id & kOverlayIdBit) != 0 && id != kInvalidNode;
+}
+
+// GNode::hierarchy value for overlay nodes: overlays are not entries of the
+// base hierarchy table, so the field deliberately points nowhere.
+inline constexpr HierarchyId kOverlayHierarchy = static_cast<HierarchyId>(-1);
+
+// Thread-safe lessor of contiguous overlay-id blocks. All overlays that can
+// appear together in one OverlayView must draw from the same allocator (the
+// XQuery engine owns one per engine, shared with every overlay it creates
+// so an overlay kept alive past the engine still releases safely). The
+// namespace holds 2^31 - 1 ids; blocks are handed out monotonically and
+// reclaimed by tail rewind: releasing the highest leased block (or one
+// adjacent to already-released tail blocks) pulls the cursor back, so
+// steady-state churn — even with a long-lived kept block pinned low in the
+// namespace — reuses the same ids instead of walking off the end.
+// Exhaustion therefore requires ~2^31 overlay nodes in *live* blocks (plus
+// any released blocks sandwiched under live ones, which are reclaimed as
+// soon as the blocks above them go).
+class OverlayIdAllocator {
+ public:
+  // Leases a block of `count` ids and returns its first id (overlay bit
+  // set), or kInvalidNode if the namespace is exhausted.
+  NodeId Allocate(size_t count);
+  // Returns a block previously obtained from Allocate, identified by its
+  // first id.
+  void Release(NodeId begin, size_t count);
+
+ private:
+  std::mutex mu_;
+  uint32_t next_ = 0;
+  uint64_t outstanding_ = 0;
+  // Released blocks (offset -> count) not yet absorbed by a tail rewind:
+  // blocks freed underneath a still-live block wait here and are reclaimed
+  // the moment everything above them releases.
+  std::map<uint32_t, uint32_t> freed_;
+};
+
+// One temporary virtual hierarchy over an immutable base document: an
+// auto-created root element spanning the whole base text (plumbing — kept
+// out of extended-axis scans, exactly like the root KyGoddag's virtual
+// hierarchies auto-create) plus the given elements, which must pairwise
+// nest or be disjoint. Nodes live at the contiguous id block
+// [id_begin(), id_end()); the root is id_begin(), the elements follow in
+// document order. Immutable after Create.
+class GoddagOverlay {
+ public:
+  // Validates `elements` (same rules as KyGoddag::AddVirtualHierarchy) and
+  // builds the hierarchy. Fails with the validation error, or with
+  // ResourceExhausted when `ids` cannot lease a block. The overlay shares
+  // ownership of the allocator, so it may outlive the engine that created
+  // it (a KeptTemporaries handle held past engine destruction stays safe).
+  static StatusOr<std::shared_ptr<const GoddagOverlay>> Create(
+      const KyGoddag* base, std::shared_ptr<OverlayIdAllocator> ids,
+      const std::string& name, std::vector<VirtualElement> elements);
+
+  ~GoddagOverlay();
+
+  GoddagOverlay(const GoddagOverlay&) = delete;
+  GoddagOverlay& operator=(const GoddagOverlay&) = delete;
+
+  NodeId id_begin() const { return id_begin_; }
+  NodeId id_end() const {
+    return id_begin_ + static_cast<NodeId>(arena_.size());
+  }
+  size_t node_count() const { return arena_.size(); }
+  bool Contains(NodeId id) const {
+    return id >= id_begin_ && id < id_end();
+  }
+  // The auto-created whole-text root. Plumbing, not a result: extended-axis
+  // scans skip it (it would otherwise be an xancestor of every node).
+  NodeId root() const { return id_begin_; }
+  // First non-root element id; elements occupy [elements_begin(), id_end())
+  // in document order.
+  NodeId elements_begin() const { return id_begin_ + 1; }
+
+  const GNode& node(NodeId id) const { return arena_[id - id_begin_]; }
+
+ private:
+  GoddagOverlay(std::shared_ptr<OverlayIdAllocator> ids, NodeId id_begin)
+      : ids_(std::move(ids)), id_begin_(id_begin) {}
+
+  std::shared_ptr<OverlayIdAllocator> ids_;
+  NodeId id_begin_;
+  std::vector<GNode> arena_;
+};
+
+// The read seam of one evaluation: an immutable base KyGoddag plus every
+// overlay visible to the evaluation (hierarchies kept by earlier
+// EvaluateKeepingTemporaries calls, then the evaluation's own). Node
+// resolution, node-to-string, and the leaf partition all go through here.
+//
+// Not thread-safe for mutation: AddOverlay may only be called by the
+// evaluation that owns the view, never concurrently with readers (the
+// engine's parallel workers only read, and analyze-string() never runs on a
+// worker). Reads are const and safe to share across worker threads.
+class OverlayView {
+ public:
+  explicit OverlayView(const KyGoddag* base) : base_(base) {}
+
+  const KyGoddag& base() const { return *base_; }
+  const std::string& base_text() const { return base_->base_text(); }
+  NodeId root() const { return base_->root(); }
+
+  // Registers an overlay (kept sorted by id_begin for binary-search
+  // resolution) and queues it for the merged leaf partition, which is
+  // spliced lazily — and incrementally, one pass per overlay — by the next
+  // leaves() call. Evaluations that never run a leaf() step pay nothing
+  // for their overlays. Requires the base leaf partition to be
+  // materialised (the engine does this before evaluation starts).
+  void AddOverlay(std::shared_ptr<const GoddagOverlay> overlay);
+
+  bool has_overlays() const { return !overlays_.empty(); }
+  const std::vector<std::shared_ptr<const GoddagOverlay>>& overlays() const {
+    return overlays_;
+  }
+
+  // The overlay owning `id`, or nullptr. `id` must be an overlay id.
+  const GoddagOverlay* overlay_of(NodeId id) const;
+
+  // Resolves any node id — base ids against the base document, overlay ids
+  // against the registered overlays. Like KyGoddag::node, resolving an id
+  // that does not exist is undefined behaviour.
+  const GNode& node(NodeId id) const {
+    return IsOverlayId(id) ? overlay_of(id)->node(id) : base_->node(id);
+  }
+
+  // Base-text content dominated by a node (any namespace).
+  std::string NodeString(NodeId id) const;
+
+  // The leaf partition this evaluation sees: the base partition re-split at
+  // every overlay element boundary, in text order. Without overlays this is
+  // the base partition itself, no copy; with overlays the merged partition
+  // materialises on first use (mutex-guarded: parallel workers sharing the
+  // view may race the first call, and leaf() steps are parallel-safe).
+  const std::vector<Leaf>& leaves() const;
+
+ private:
+  void SpliceBoundary(size_t pos) const;
+
+  const KyGoddag* base_;
+  // Sorted by id_begin (allocator blocks are disjoint, so this is a total
+  // order).
+  std::vector<std::shared_ptr<const GoddagOverlay>> overlays_;
+  // Lazily merged partition cache; guarded by leaves_mu_ (AddOverlay needs
+  // no guard — only the owning evaluation mutates the view, never while
+  // workers read it). unspliced_ holds overlays queued by AddOverlay and
+  // not yet folded into merged_leaves_; draining it is incremental, so a
+  // query interleaving analyze-string() with leaf() steps pays one splice
+  // pass per overlay, not a quadratic rebuild.
+  mutable std::mutex leaves_mu_;
+  mutable bool merged_init_ = false;
+  mutable std::vector<Leaf> merged_leaves_;
+  mutable std::vector<std::shared_ptr<const GoddagOverlay>> unspliced_;
+};
+
+}  // namespace mhx::goddag
+
+#endif  // MHX_GODDAG_OVERLAY_H_

@@ -139,17 +139,11 @@ AxisEvaluator::AxisEvaluator(const KyGoddag* goddag, AxisOptions options)
     : goddag_(goddag), options_(options) {}
 
 const goddag::RangeIndex& AxisEvaluator::index() const {
-  if (index_ == nullptr ||
-      (!index_pinned_ && index_->revision() != goddag_->revision())) {
+  if (index_ == nullptr || index_->revision() != goddag_->revision()) {
     index_ = std::make_unique<goddag::RangeIndex>(goddag_);
     ++index_rebuild_count_;
   }
   return *index_;
-}
-
-void AxisEvaluator::PinIndex() {
-  index();  // materialise the snapshot before freezing it
-  index_pinned_ = true;
 }
 
 Ordering AxisEvaluator::ResultOrdering(Axis axis) {
@@ -159,12 +153,12 @@ Ordering AxisEvaluator::ResultOrdering(Axis axis) {
   return Ordering::kDocOrderNoDupes;
 }
 
-void AxisEvaluator::NormalizeDocumentOrder(std::vector<NodeId>* ids) const {
+void AxisEvaluator::NormalizeDocumentOrder(const goddag::OverlayView* view,
+                                           std::vector<NodeId>* ids) const {
   if (ids->size() < 2) return;
-  const KyGoddag& kg = *goddag_;
-  auto cmp = [&kg](NodeId a, NodeId b) {
-    const TextRange& ra = kg.node(a).range;
-    const TextRange& rb = kg.node(b).range;
+  auto cmp = [this, view](NodeId a, NodeId b) {
+    const TextRange& ra = NodeAt(view, a).range;
+    const TextRange& rb = NodeAt(view, b).range;
     if (ra != rb) return ra < rb;
     return a < b;
   };
@@ -219,10 +213,28 @@ void AxisEvaluator::EvaluateExtendedIndexed(const GNode& context_node,
   }
 }
 
-void AxisEvaluator::EvaluateStandard(NodeId context, Axis axis,
+void AxisEvaluator::AppendOverlayMatches(const goddag::OverlayView& view,
+                                         Axis axis,
+                                         const TextRange& context_range,
+                                         NodeId exclude,
+                                         std::vector<NodeId>* out) const {
+  for (const auto& overlay : view.overlays()) {
+    // The auto-created whole-text root is plumbing, not a result: start at
+    // elements_begin() so it never shows up as an xancestor of everything.
+    for (NodeId id = overlay->elements_begin(); id < overlay->id_end();
+         ++id) {
+      if (id == exclude) continue;
+      if (ExtendedAxisMatches(axis, context_range, overlay->node(id).range)) {
+        out->push_back(id);
+      }
+    }
+  }
+}
+
+void AxisEvaluator::EvaluateStandard(const goddag::OverlayView* view,
+                                     NodeId context, Axis axis,
                                      std::vector<NodeId>* out) const {
-  const KyGoddag& kg = *goddag_;
-  const GNode& node = kg.node(context);
+  const GNode& node = NodeAt(view, context);
   switch (axis) {
     case Axis::kSelf:
       out->push_back(context);
@@ -243,7 +255,7 @@ void AxisEvaluator::EvaluateStandard(NodeId context, Axis axis,
         NodeId id = stack.back();
         stack.pop_back();
         out->push_back(id);
-        const GNode& n = kg.node(id);
+        const GNode& n = NodeAt(view, id);
         stack.insert(stack.end(), n.children.rbegin(), n.children.rend());
       }
       return;
@@ -252,7 +264,10 @@ void AxisEvaluator::EvaluateStandard(NodeId context, Axis axis,
       out->push_back(context);
       [[fallthrough]];
     case Axis::kAncestor: {
-      for (NodeId p = node.parent; p != kInvalidNode; p = kg.node(p).parent) {
+      // An overlay root's parent is the base GODDAG root, so the chain may
+      // cross from overlay into base ids; NodeAt resolves both.
+      for (NodeId p = node.parent; p != kInvalidNode;
+           p = NodeAt(view, p).parent) {
         out->push_back(p);
       }
       // The walk-up visits innermost-first — exactly reverse document order.
@@ -263,7 +278,8 @@ void AxisEvaluator::EvaluateStandard(NodeId context, Axis axis,
     case Axis::kFollowingSibling:
     case Axis::kPrecedingSibling: {
       if (node.parent == kInvalidNode) return;
-      const std::vector<NodeId>& siblings = kg.node(node.parent).children;
+      const std::vector<NodeId>& siblings =
+          NodeAt(view, node.parent).children;
       auto self = std::find(siblings.begin(), siblings.end(), context);
       if (self == siblings.end()) return;
       if (axis == Axis::kFollowingSibling) {
@@ -277,11 +293,24 @@ void AxisEvaluator::EvaluateStandard(NodeId context, Axis axis,
     case Axis::kPreceding: {
       // Within the context's own hierarchy. Because same-hierarchy ranges
       // nest or are disjoint, document-order following reduces to "begins at
-      // or after my end" and preceding to "ends at or before my start".
+      // or after my end" and preceding to "ends at or before my start". An
+      // overlay node's hierarchy is its overlay.
       if (node.kind != GNodeKind::kElement) return;
-      const goddag::Hierarchy& h = kg.hierarchy(node.hierarchy);
+      if (goddag::IsOverlayId(context)) {
+        const goddag::GoddagOverlay* overlay = view->overlay_of(context);
+        for (NodeId id = overlay->elements_begin(); id < overlay->id_end();
+             ++id) {
+          const GNode& n = overlay->node(id);
+          bool hit = axis == Axis::kFollowing
+                         ? n.range.begin >= node.range.end
+                         : n.range.end <= node.range.begin;
+          if (hit && id != context) out->push_back(id);
+        }
+        return;
+      }
+      const goddag::Hierarchy& h = goddag_->hierarchy(node.hierarchy);
       for (NodeId id : h.nodes) {
-        const GNode& n = kg.node(id);
+        const GNode& n = goddag_->node(id);
         bool hit = axis == Axis::kFollowing ? n.range.begin >= node.range.end
                                            : n.range.end <= node.range.begin;
         if (hit && id != context) out->push_back(id);
@@ -293,11 +322,15 @@ void AxisEvaluator::EvaluateStandard(NodeId context, Axis axis,
   }
 }
 
-std::vector<NodeId> AxisEvaluator::EvaluateAxisOnly(NodeId context,
-                                                    Axis axis) const {
+std::vector<NodeId> AxisEvaluator::EvaluateAxisOnlyImpl(
+    const goddag::OverlayView* view, NodeId context, Axis axis) const {
   std::vector<NodeId> out;
-  if (context >= goddag_->node_table_size()) return out;
-  const GNode& context_node = goddag_->node(context);
+  if (goddag::IsOverlayId(context)) {
+    if (view == nullptr || view->overlay_of(context) == nullptr) return out;
+  } else if (context >= goddag_->node_table_size()) {
+    return out;
+  }
+  const GNode& context_node = NodeAt(view, context);
   if (context_node.kind == GNodeKind::kFree) return out;
   if (IsExtendedAxis(axis)) {
     if (options_.use_index) {
@@ -305,21 +338,74 @@ std::vector<NodeId> AxisEvaluator::EvaluateAxisOnly(NodeId context,
     } else {
       EvaluateExtendedNaive(context_node, context, axis, &out);
     }
+    if (view != nullptr) {
+      AppendOverlayMatches(*view, axis, context_node.range, context, &out);
+    }
   } else {
-    EvaluateStandard(context, axis, &out);
+    EvaluateStandard(view, context, axis, &out);
   }
-  NormalizeDocumentOrder(&out);
+  NormalizeDocumentOrder(view, &out);
   return out;
+}
+
+std::vector<NodeId> AxisEvaluator::EvaluateAxisOnly(NodeId context,
+                                                    Axis axis) const {
+  return EvaluateAxisOnlyImpl(nullptr, context, axis);
+}
+
+std::vector<NodeId> AxisEvaluator::EvaluateAxisOnly(
+    const goddag::OverlayView& view, NodeId context, Axis axis) const {
+  return EvaluateAxisOnlyImpl(&view, context, axis);
 }
 
 std::vector<NodeId> AxisEvaluator::Evaluate(NodeId context, Axis axis,
                                             const NodeTest& test) const {
-  std::vector<NodeId> out = EvaluateAxisOnly(context, axis);
+  std::vector<NodeId> out = EvaluateAxisOnlyImpl(nullptr, context, axis);
   out.erase(std::remove_if(out.begin(), out.end(),
                            [this, &test](NodeId id) {
                              return !test.Matches(goddag_->node(id));
                            }),
             out.end());
+  return out;
+}
+
+std::vector<NodeId> AxisEvaluator::Evaluate(const goddag::OverlayView& view,
+                                            NodeId context, Axis axis,
+                                            const NodeTest& test) const {
+  std::vector<NodeId> out = EvaluateAxisOnlyImpl(&view, context, axis);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&view, &test](NodeId id) {
+                             return !test.Matches(view.node(id));
+                           }),
+            out.end());
+  return out;
+}
+
+std::vector<NodeId> AxisEvaluator::EvaluateRange(
+    const goddag::OverlayView& view, const TextRange& context,
+    Axis axis) const {
+  std::vector<NodeId> out;
+  const goddag::RangeIndex& idx = index();
+  switch (axis) {
+    case Axis::kXAncestor:
+      out = idx.NodesContaining(context);
+      break;
+    case Axis::kXDescendant:
+      out = idx.NodesContainedIn(context);
+      break;
+    case Axis::kOverlapping:
+      out = idx.NodesOverlapping(context);
+      break;
+    case Axis::kXFollowing:
+      out = idx.NodesBeginningAtOrAfter(context.end);
+      break;
+    case Axis::kXPreceding:
+      out = idx.NodesEndingAtOrBefore(context.begin);
+      break;
+    default:
+      return out;
+  }
+  AppendOverlayMatches(view, axis, context, kInvalidNode, &out);
   return out;
 }
 

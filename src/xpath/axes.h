@@ -15,6 +15,15 @@
 // (naive), and lookups against a RangeIndex (indexed). Both return the same
 // node set in document order — the E9 benchmark and the unit tests hold
 // them to that.
+//
+// Overlay views: every entry point has a goddag::OverlayView overload that
+// evaluates against an evaluation's overlay namespace as well as the base
+// document. Extended axes then read uniformly as "base index (or naive base
+// scan) + overlay scan" — overlay nodes are never indexed, their delta is
+// tiny — and standard axes resolve parent/child arcs through the view. The
+// base RangeIndex snapshot is revision-checked against the base KyGoddag
+// only: overlay churn never invalidates it, which is what keeps
+// analyze-string() cycles rebuild-free (index_rebuild_count()).
 
 #ifndef MHX_XPATH_AXES_H_
 #define MHX_XPATH_AXES_H_
@@ -29,6 +38,7 @@
 #include "base/statusor.h"
 #include "goddag/index.h"
 #include "goddag/kygoddag.h"
+#include "goddag/overlay.h"
 
 namespace mhx::xpath {
 
@@ -73,9 +83,8 @@ std::string_view OrderingName(Ordering ordering);
 
 // The Definition-1 range predicate of one extended axis: does `candidate`
 // stand in `axis` relation to a context with range `context`? Shared by the
-// naive evaluation mode below and by the XQuery engine's delta scan over
-// temporary virtual-hierarchy nodes (which are deliberately kept out of the
-// RangeIndex; see PinIndex).
+// naive base-table scan and by the overlay scan half of every extended-axis
+// evaluation.
 bool ExtendedAxisMatches(Axis axis, const TextRange& context,
                          const TextRange& candidate);
 
@@ -100,7 +109,8 @@ class NodeTest {
 
 struct AxisOptions {
   // Extended axes consult a RangeIndex when true, otherwise run the naive
-  // Definition-1 scan. Standard tree axes always walk arcs.
+  // Definition-1 scan. Standard tree axes always walk arcs. Overlay nodes
+  // are scanned either way (they are never indexed).
   bool use_index = true;
 };
 
@@ -111,20 +121,37 @@ class AxisEvaluator {
 
   // Nodes reachable from `context` along `axis`, in document order
   // (range.begin ascending, longer ranges first, NodeId as tiebreak).
+  // The base-only overloads see the base document alone; the OverlayView
+  // overloads additionally see (and resolve ids of) the view's overlays.
   std::vector<goddag::NodeId> EvaluateAxisOnly(goddag::NodeId context,
                                                Axis axis) const;
+  std::vector<goddag::NodeId> EvaluateAxisOnly(
+      const goddag::OverlayView& view, goddag::NodeId context,
+      Axis axis) const;
 
   // EvaluateAxisOnly filtered by a node test.
   std::vector<goddag::NodeId> Evaluate(goddag::NodeId context, Axis axis,
                                        const NodeTest& test) const;
+  std::vector<goddag::NodeId> Evaluate(const goddag::OverlayView& view,
+                                       goddag::NodeId context, Axis axis,
+                                       const NodeTest& test) const;
+
+  // Extended-axis hits for a bare text range (the XQuery engine's leaf
+  // contexts): base RangeIndex lookup plus overlay scan, not normalised —
+  // index traversal order is not document order, so callers treat the
+  // result as Ordering::kUnordered. `axis` must be an extended axis.
+  std::vector<goddag::NodeId> EvaluateRange(const goddag::OverlayView& view,
+                                            const TextRange& context,
+                                            Axis axis) const;
 
   // The ordering guarantee Evaluate/EvaluateAxisOnly declare for `axis`:
-  // always kDocOrderNoDupes — every traversal visits a node at most once,
-  // and the evaluator normalises the rare traversals that are not already
-  // in document order. Downstream step loops may therefore skip their own
-  // sort+dedup for single-context axis results (the XQuery engine does, and
-  // counts the skips). Declared per axis so callers key off the contract,
-  // not off evaluator internals.
+  // always kDocOrderNoDupes — every traversal visits a node at most once
+  // (base ids and overlay ids are disjoint namespaces), and the evaluator
+  // normalises the rare traversals that are not already in document order.
+  // Downstream step loops may therefore skip their own sort+dedup for
+  // single-context axis results (the XQuery engine does, and counts the
+  // skips). Declared per axis so callers key off the contract, not off
+  // evaluator internals.
   static Ordering ResultOrdering(Axis axis);
 
   // Document-order sorts EvaluateAxisOnly avoided because the traversal was
@@ -137,48 +164,57 @@ class AxisEvaluator {
 
   const AxisOptions& options() const { return options_; }
 
-  // The lazily built (and revision-checked) index backing indexed mode.
+  // The lazily built index backing indexed mode, revision-checked against
+  // the *base* document only. Base documents are immutable while queries
+  // run, so once materialised (the XQuery engine forces this before
+  // evaluation) concurrent readers never trigger a rebuild; a direct
+  // document mutation between queries rebuilds on the next call.
   const goddag::RangeIndex& index() const;
 
-  // Freezes the index at the current document snapshot: later revision bumps
-  // no longer trigger a rebuild, so temporary virtual hierarchies can come
-  // and go for free. Indexed extended-axis results then cover only nodes
-  // that existed at pin time; the caller owns evaluating the delta (the
-  // XQuery engine scans its temporary nodes with ExtendedAxisMatches).
-  // Builds the index immediately if it does not exist yet.
-  void PinIndex();
-  void UnpinIndex() { index_pinned_ = false; }
-  bool index_pinned() const { return index_pinned_; }
-
   // Number of RangeIndex constructions this evaluator has paid for — the
-  // observable that proves analyze-string() add/query/remove cycles stay
-  // rebuild-free under a pinned index.
+  // observable that proves analyze-string() overlay cycles never rebuild
+  // the base index.
   size_t index_rebuild_count() const { return index_rebuild_count_; }
 
  private:
+  // Shared implementations; `view` is null for the base-only overloads.
+  std::vector<goddag::NodeId> EvaluateAxisOnlyImpl(
+      const goddag::OverlayView* view, goddag::NodeId context,
+      Axis axis) const;
+  const goddag::GNode& NodeAt(const goddag::OverlayView* view,
+                              goddag::NodeId id) const {
+    return view != nullptr ? view->node(id) : goddag_->node(id);
+  }
   void EvaluateExtendedNaive(const goddag::GNode& context_node,
                              goddag::NodeId context, Axis axis,
                              std::vector<goddag::NodeId>* out) const;
   void EvaluateExtendedIndexed(const goddag::GNode& context_node,
                                goddag::NodeId context, Axis axis,
                                std::vector<goddag::NodeId>* out) const;
-  void EvaluateStandard(goddag::NodeId context, Axis axis,
+  // The overlay half of every extended-axis evaluation: a linear scan of
+  // the view's overlay elements (plumbing roots excluded) against the
+  // Definition-1 predicate.
+  void AppendOverlayMatches(const goddag::OverlayView& view, Axis axis,
+                            const TextRange& context_range,
+                            goddag::NodeId exclude,
+                            std::vector<goddag::NodeId>* out) const;
+  void EvaluateStandard(const goddag::OverlayView* view,
+                        goddag::NodeId context, Axis axis,
                         std::vector<goddag::NodeId>* out) const;
   // Establishes document order: a linear is_sorted scan first (counted as a
   // skipped sort when it passes on 2+ elements), the O(n log n) sort only
   // when the scan finds an inversion. The scan, rather than a purely static
-  // per-axis whitelist, is what makes the guarantee honest: recycled
-  // virtual-hierarchy node slots can violate "pre-order allocates ascending
-  // ids", and a cross-hierarchy descendant walk from the GODDAG root
-  // interleaves hierarchies.
-  void NormalizeDocumentOrder(std::vector<goddag::NodeId>* ids) const;
+  // per-axis whitelist, is what makes the guarantee honest: overlay hits
+  // append after base hits, and a cross-hierarchy descendant walk from the
+  // GODDAG root interleaves hierarchies.
+  void NormalizeDocumentOrder(const goddag::OverlayView* view,
+                              std::vector<goddag::NodeId>* ids) const;
 
   const goddag::KyGoddag* goddag_;
   AxisOptions options_;
   mutable std::unique_ptr<goddag::RangeIndex> index_;
   mutable size_t index_rebuild_count_ = 0;
   mutable std::atomic<size_t> sorts_skipped_{0};
-  bool index_pinned_ = false;
 };
 
 }  // namespace mhx::xpath

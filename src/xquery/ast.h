@@ -99,14 +99,17 @@ struct AstNode {
 // "(for $w (path / descendant::w) (call string (path $w)))".
 std::string DebugString(const AstNode& node);
 
-// True when evaluating the subtree cannot touch shared document state, so
-// independent FLWOR iterations / quantifier bindings over it may run on
-// worker threads concurrently. The one source of evaluation-time mutation in
-// this engine is analyze-string(), which materialises temporary virtual
-// hierarchies on the shared KyGoddag; unknown function names are rejected
-// conservatively so a future side-effecting built-in cannot silently become
-// "safe". Direct constructors are pure here — they build detached fragment
-// strings that never re-enter the document — and so stay parallel-safe.
+// True when evaluating the subtree cannot touch state shared across the
+// evaluation's worker threads, so independent FLWOR iterations / quantifier
+// bindings over it may fan out concurrently. analyze-string() no longer
+// mutates the document (temporaries live in evaluation-scoped overlays,
+// goddag/overlay.h), but it still writes the *evaluation's* overlay view,
+// which parallel workers share read-only — so subtrees containing it stay
+// serial within their query (worker-private sub-overlays would lift this;
+// see ROADMAP). Unknown function names are rejected conservatively so a
+// future side-effecting built-in cannot silently become "safe". Direct
+// constructors are pure here — they build detached fragment strings that
+// never re-enter the document — and so stay parallel-safe.
 bool IsParallelSafe(const AstNode& node);
 
 std::string_view CompareOpName(CompareOp op);

@@ -35,9 +35,11 @@ Status EvalErrorAt(size_t offset, const std::string& what) {
 
 }  // namespace
 
-// The per-query tree-walking interpreter. One Evaluator runs one query; all
-// cross-query state (pinned axis index, temporary-hierarchy bookkeeping,
-// prepared-query and compiled-regex caches) lives on the Engine.
+// The per-query tree-walking interpreter. One Evaluator runs one query
+// against one goddag::OverlayView — the immutable base document plus the
+// kept temporary hierarchies plus the evaluation's own. Cross-query state
+// (the base axis index, the kept-hierarchy registry, prepared-query and
+// compiled-regex caches) lives on the Engine.
 class Evaluator {
  public:
   // An XDM-style item: a graph node, a leaf of the shared partition, an
@@ -94,26 +96,37 @@ class Evaluator {
   };
   using Sequence = std::vector<Item>;
 
-  Evaluator(Engine* engine, const QueryOptions* options,
-            base::ThreadPool* pool)
+  // The coordinating evaluator. `own` collects the overlays this evaluation
+  // materialises (analyze-string()); it registers them in `view` as it
+  // goes, so later steps of the same evaluation see them.
+  Evaluator(Engine* engine, const xpath::AxisEvaluator* axes,
+            const QueryOptions* options, base::ThreadPool* pool,
+            goddag::OverlayView* view,
+            std::vector<std::shared_ptr<const goddag::GoddagOverlay>>* own)
       : engine_(engine),
-        goddag_(engine->document()->goddag()),
-        // Temporary virtual hierarchies are query-time scratch state on a
-        // logically const document; they are torn down by
-        // CleanupTemporaries before the result is observable.
-        mutable_goddag_(
-            const_cast<goddag::KyGoddag*>(&engine->document()->goddag())),
-        axes_(engine->axes()),
+        view_(view),
+        mutable_view_(view),
+        own_(own),
+        axes_(*axes),
         options_(options),
         pool_(pool) {}
 
-  // A worker evaluator for one parallel FLWOR iteration: same engine and
-  // options, a snapshot of the parent's binding stack, and no further
-  // fan-out (a pool task blocking on tasks queued behind it would deadlock
-  // the fixed-size pool).
-  Evaluator(Engine* engine, const QueryOptions* options,
+  // A worker evaluator for one parallel FLWOR iteration: same engine,
+  // options, and (read-only) overlay view, a snapshot of the parent's
+  // binding stack, and no further fan-out (a pool task blocking on tasks
+  // queued behind it would deadlock the fixed-size pool). Workers never
+  // evaluate analyze-string() — IsParallelSafe gates fan-out — so the
+  // shared view is never mutated while they read it.
+  Evaluator(Engine* engine, const xpath::AxisEvaluator* axes,
+            const QueryOptions* options, const goddag::OverlayView* view,
             std::vector<std::pair<std::string, Sequence>> bindings)
-      : Evaluator(engine, options, /*pool=*/nullptr) {
+      : engine_(engine),
+        view_(view),
+        mutable_view_(nullptr),
+        own_(nullptr),
+        axes_(*axes),
+        options_(options),
+        pool_(nullptr) {
     bindings_ = std::move(bindings);
     parallel_worker_ = true;
   }
@@ -127,10 +140,10 @@ class Evaluator {
   std::string StringValue(const Item& item) const {
     switch (item.kind) {
       case Item::Kind::kNode:
-        return goddag_.NodeString(item.node);
+        return view_->NodeString(item.node);
       case Item::Kind::kLeaf:
-        return goddag_.base_text().substr(item.range.begin,
-                                          item.range.length());
+        return view_->base_text().substr(item.range.begin,
+                                         item.range.length());
       case Item::Kind::kString:
         return item.text;
       case Item::Kind::kInteger:
@@ -334,7 +347,7 @@ class Evaluator {
       futures.push_back(pool_->Submit(
           [this, &node, context,
            chunk = std::move(chunk)]() mutable -> StatusOr<Sequence> {
-            Evaluator worker(engine_, options_, bindings_);
+            Evaluator worker(engine_, &axes_, options_, view_, bindings_);
             Sequence out;
             for (Item& item : chunk) {
               worker.bindings_.emplace_back(node.name,
@@ -399,7 +412,7 @@ class Evaluator {
       futures.push_back(pool_->Submit(
           [this, &node, context, decided,
            chunk = std::move(chunk)]() mutable -> StatusOr<Outcome> {
-            Evaluator worker(engine_, options_, bindings_);
+            Evaluator worker(engine_, &axes_, options_, view_, bindings_);
             for (Item& item : chunk) {
               if (decided->load(std::memory_order_relaxed)) {
                 return Outcome::kSkipped;
@@ -573,7 +586,7 @@ class Evaluator {
     Sequence current;
     size_t step_index = 0;
     if (path.absolute) {
-      current.push_back(Item::Node(goddag_.root()));
+      current.push_back(Item::Node(view_->root()));
     } else if (path.steps[0].primary != nullptr) {
       const PathStep& first = path.steps[0];
       MHX_ASSIGN_OR_RETURN(current, Eval(*first.primary, context));
@@ -722,25 +735,18 @@ class Evaluator {
                                : xpath::NodeTest::Any();
     std::vector<goddag::NodeId> ids;
     if (item.kind == Item::Kind::kNode) {
-      ids = axes_.Evaluate(item.node, step.axis, test);
+      // One uniform read through the overlay view: base index (or arcs)
+      // plus overlay scan, normalised to document order by the evaluator.
+      ids = axes_.Evaluate(*view_, item.node, step.axis, test);
       *ordering = xpath::AxisEvaluator::ResultOrdering(step.axis);
-      if (xpath::IsExtendedAxis(step.axis)) {
-        // The pinned index never sees temporary virtual hierarchies; scan
-        // the delta naively (it is tiny next to the persistent document).
-        const size_t before = ids.size();
-        AppendTemporaryMatches(step.axis, goddag_.node(item.node).range,
-                               item.node, test, &ids);
-        // Delta hits land at the tail, outside document order.
-        if (ids.size() != before) *ordering = xpath::Ordering::kUnordered;
-      }
     } else if (item.kind == Item::Kind::kLeaf) {
       MHX_RETURN_IF_ERROR(LeafContextStep(item.range, step.axis, offset, &ids));
-      // RangeIndex traversal (plus any temporary-delta tail) comes back in
-      // index order, not document order.
+      // RangeIndex traversal (plus any overlay tail) comes back in index
+      // order, not document order.
       *ordering = xpath::Ordering::kUnordered;
       ids.erase(std::remove_if(ids.begin(), ids.end(),
                                [&](goddag::NodeId id) {
-                                 return !test.Matches(goddag_.node(id));
+                                 return !test.Matches(view_->node(id));
                                }),
                 ids.end());
     } else {
@@ -749,7 +755,7 @@ class Evaluator {
     if (step.test == PathStep::Test::kAnyElement) {
       ids.erase(std::remove_if(ids.begin(), ids.end(),
                                [&](goddag::NodeId id) {
-                                 return goddag_.node(id).kind !=
+                                 return view_->node(id).kind !=
                                         goddag::GNodeKind::kElement;
                                }),
                 ids.end());
@@ -767,31 +773,25 @@ class Evaluator {
   // uniformity.
   Status LeafContextStep(const TextRange& range, xpath::Axis axis,
                          size_t offset, std::vector<goddag::NodeId>* ids) {
-    const goddag::RangeIndex& index = axes_.index();
     xpath::Axis extended;
     switch (axis) {
       case xpath::Axis::kAncestor:
       case xpath::Axis::kAncestorOrSelf:
       case xpath::Axis::kXAncestor:
-        *ids = index.NodesContaining(range);
         extended = xpath::Axis::kXAncestor;
         break;
       case xpath::Axis::kXDescendant:
-        *ids = index.NodesContainedIn(range);
         extended = xpath::Axis::kXDescendant;
         break;
       case xpath::Axis::kOverlapping:
-        *ids = index.NodesOverlapping(range);
         extended = xpath::Axis::kOverlapping;
         break;
       case xpath::Axis::kFollowing:
       case xpath::Axis::kXFollowing:
-        *ids = index.NodesBeginningAtOrAfter(range.end);
         extended = xpath::Axis::kXFollowing;
         break;
       case xpath::Axis::kPreceding:
       case xpath::Axis::kXPreceding:
-        *ids = index.NodesEndingAtOrBefore(range.begin);
         extended = xpath::Axis::kXPreceding;
         break;
       default:
@@ -799,23 +799,8 @@ class Evaluator {
                                        std::string(xpath::AxisName(axis)) +
                                        " cannot start from a leaf");
     }
-    AppendTemporaryMatches(extended, range, goddag::kInvalidNode,
-                           xpath::NodeTest::Any(), ids);
+    *ids = axes_.EvaluateRange(*view_, range, extended);
     return OkStatus();
-  }
-
-  void AppendTemporaryMatches(xpath::Axis axis, const TextRange& context,
-                              goddag::NodeId exclude,
-                              const xpath::NodeTest& test,
-                              std::vector<goddag::NodeId>* ids) const {
-    for (goddag::NodeId id : engine_->temp_nodes_) {
-      if (id == exclude) continue;
-      const goddag::GNode& node = goddag_.node(id);
-      if (node.kind != goddag::GNodeKind::kElement) continue;
-      if (!xpath::ExtendedAxisMatches(axis, context, node.range)) continue;
-      if (!test.Matches(node)) continue;
-      ids->push_back(id);
-    }
   }
 
   Status EvalLeafStep(const Item& item, const PathStep& step, size_t offset,
@@ -838,20 +823,20 @@ class Evaluator {
         if (item.kind != Item::Kind::kNode) {
           return EvalErrorAt(offset, "leaf() step over an atomic value");
         }
-        AppendLeavesIn(goddag_.node(item.node).range, out);
+        AppendLeavesIn(view_->node(item.node).range, out);
         return OkStatus();
       }
       case xpath::Axis::kChild: {
         if (item.kind != Item::Kind::kNode) return OkStatus();
         // Leaves directly dominated: within the node's range but not inside
         // any of its element children.
-        const goddag::GNode& node = goddag_.node(item.node);
+        const goddag::GNode& node = view_->node(item.node);
         Sequence all;
         AppendLeavesIn(node.range, &all);
         for (const Item& leaf : all) {
           bool in_child = false;
           for (goddag::NodeId child : node.children) {
-            if (goddag_.node(child).range.Contains(leaf.range)) {
+            if (view_->node(child).range.Contains(leaf.range)) {
               in_child = true;
               break;
             }
@@ -869,7 +854,9 @@ class Evaluator {
 
   void AppendLeavesIn(const TextRange& range, Sequence* out) const {
     if (range.empty()) return;
-    const std::vector<goddag::Leaf>& leaves = goddag_.leaves();
+    // The evaluation's leaf partition: base cells re-split at every overlay
+    // element boundary.
+    const std::vector<goddag::Leaf>& leaves = view_->leaves();
     auto it = std::lower_bound(
         leaves.begin(), leaves.end(), range.begin,
         [](const goddag::Leaf& leaf, size_t pos) {
@@ -887,7 +874,7 @@ class Evaluator {
   std::tuple<size_t, size_t, int, goddag::NodeId> DocOrderKey(
       const Item& item) const {
     const TextRange& r = item.kind == Item::Kind::kNode
-                             ? goddag_.node(item.node).range
+                             ? view_->node(item.node).range
                              : item.range;
     const int rank = item.kind == Item::Kind::kNode ? 0 : 1;
     const goddag::NodeId id = item.kind == Item::Kind::kNode ? item.node : 0;
@@ -951,7 +938,7 @@ class Evaluator {
       MHX_ASSIGN_OR_RETURN(Sequence arg, arg_or_context(0));
       std::string value;
       if (!arg.empty() && arg[0].kind == Item::Kind::kNode) {
-        value = goddag_.node(arg[0].node).name;
+        value = view_->node(arg[0].node).name;
       }
       return Sequence{Item::String(std::move(value))};
     }
@@ -1015,10 +1002,19 @@ class Evaluator {
   // The paper's analyze-string(): match a fragment pattern against the
   // string of a node and materialise every match — and every named fragment
   // group — as a temporary virtual hierarchy over the node's base-text
-  // range. Returns the result wrapper element, whose leaf() descendants are
-  // the analysed range re-partitioned by the match boundaries.
+  // range. The hierarchy is an evaluation-private GoddagOverlay: the base
+  // document is untouched, so concurrent evaluations need no exclusion and
+  // teardown is dropping the overlay. Returns the result wrapper element,
+  // whose leaf() descendants are the analysed range re-partitioned by the
+  // match boundaries.
   StatusOr<Sequence> EvalAnalyzeString(const AstNode& node,
                                        const Item* context) {
+    if (mutable_view_ == nullptr) {
+      // Unreachable while IsParallelSafe gates fan-out; checked so a future
+      // gating bug degrades to an error instead of a data race on the view.
+      return EvalErrorAt(node.offset,
+                         "analyze-string() inside a parallel worker");
+    }
     MHX_ASSIGN_OR_RETURN(Sequence target, Eval(*node.children[0], context));
     if (target.size() != 1 || (target[0].kind != Item::Kind::kNode &&
                                target[0].kind != Item::Kind::kLeaf)) {
@@ -1026,7 +1022,7 @@ class Evaluator {
                          "analyze-string() requires a single node");
     }
     const TextRange range = target[0].kind == Item::Kind::kNode
-                                ? goddag_.node(target[0].node).range
+                                ? view_->node(target[0].node).range
                                 : target[0].range;
     MHX_ASSIGN_OR_RETURN(std::string pattern,
                          SingletonString(*node.children[1], context));
@@ -1040,7 +1036,7 @@ class Evaluator {
                          CompiledRegex(fragment->regex, node.offset));
 
     const std::string_view text =
-        std::string_view(goddag_.base_text())
+        std::string_view(view_->base_text())
             .substr(range.begin, range.length());
     std::vector<goddag::VirtualElement> elements;
     elements.push_back(
@@ -1065,31 +1061,28 @@ class Evaluator {
             {}});
       }
     }
-    auto hid = mutable_goddag_->AddVirtualHierarchy(kAnalyzeStringResultName,
-                                                    std::move(elements));
-    if (!hid.ok()) return EvalErrorAt(node.offset, hid.status().message());
-    // Our own mutation: keep the pinned snapshot's revision bookkeeping in
-    // step so it is not mistaken for an external document change.
-    engine_->pinned_revision_ = goddag_.revision();
-    engine_->temp_hierarchies_.push_back(*hid);
-    const goddag::Hierarchy& h = goddag_.hierarchy(*hid);
+    auto overlay = goddag::GoddagOverlay::Create(
+        &view_->base(), engine_->overlay_ids_, kAnalyzeStringResultName,
+        std::move(elements));
+    if (!overlay.ok()) {
+      return EvalErrorAt(node.offset, overlay.status().message());
+    }
+    // The wrapper is the first element spanning the analysed range with the
+    // result name (the auto-created root is plumbing and never a result).
     goddag::NodeId wrapper = goddag::kInvalidNode;
-    for (goddag::NodeId id : h.nodes) {
-      // The hierarchy's auto-created root spans the whole base text; it is
-      // plumbing, not a result, so keep it out of the delta scan — it would
-      // otherwise show up as an xancestor of every leaf in the document.
-      if (id == h.root) continue;
-      engine_->temp_nodes_.push_back(id);
-      if (wrapper == goddag::kInvalidNode) {
-        const goddag::GNode& n = goddag_.node(id);
-        if (n.name == kAnalyzeStringResultName && n.range == range) {
-          wrapper = id;
-        }
+    for (goddag::NodeId id = (*overlay)->elements_begin();
+         id < (*overlay)->id_end(); ++id) {
+      const goddag::GNode& n = (*overlay)->node(id);
+      if (n.name == kAnalyzeStringResultName && n.range == range) {
+        wrapper = id;
+        break;
       }
     }
     if (wrapper == goddag::kInvalidNode) {
       return InternalError("analyze-string() lost its result wrapper");
     }
+    own_->push_back(*overlay);
+    mutable_view_->AddOverlay(*std::move(overlay));
     return Sequence{Item::Node(wrapper)};
   }
 
@@ -1140,13 +1133,14 @@ class Evaluator {
   // --- node serialisation --------------------------------------------------
 
   void SerializeNode(goddag::NodeId id, std::string* out) const {
-    const goddag::GNode& node = goddag_.node(id);
+    const goddag::GNode& node = view_->node(id);
     if (node.kind == goddag::GNodeKind::kRoot) {
-      // The GODDAG root serialises as its hierarchy roots in order.
+      // The GODDAG root serialises as its persistent hierarchy roots in
+      // order (overlays are not children of the base root).
       for (goddag::NodeId child : node.children) SerializeNode(child, out);
       return;
     }
-    const std::string& text = goddag_.base_text();
+    const std::string& text = view_->base_text();
     *out += "<" + node.name;
     for (const auto& [attr_name, attr_value] : node.attributes) {
       *out += " " + attr_name + "=\"" + xml::EscapeText(attr_value) + "\"";
@@ -1158,7 +1152,7 @@ class Evaluator {
     *out += ">";
     size_t pos = node.range.begin;
     for (goddag::NodeId child : node.children) {
-      const TextRange& child_range = goddag_.node(child).range;
+      const TextRange& child_range = view_->node(child).range;
       *out += xml::EscapeText(
           std::string_view(text).substr(pos, child_range.begin - pos));
       SerializeNode(child, out);
@@ -1170,8 +1164,13 @@ class Evaluator {
   }
 
   Engine* engine_;
-  const goddag::KyGoddag& goddag_;
-  goddag::KyGoddag* mutable_goddag_;
+  // The evaluation's read seam: immutable base + kept hierarchies + own
+  // overlays. mutable_view_ is null in parallel workers, which share the
+  // coordinator's view read-only; own_ collects overlays for the engine to
+  // keep or drop after evaluation.
+  const goddag::OverlayView* view_;
+  goddag::OverlayView* mutable_view_;
+  std::vector<std::shared_ptr<const goddag::GoddagOverlay>>* own_;
   const xpath::AxisEvaluator& axes_;
   const QueryOptions* options_;
   // Fan-out pool; null for serial evaluation and inside parallel workers.
@@ -1187,47 +1186,40 @@ class Evaluator {
 Engine::Engine(const MultihierarchicalDocument* document)
     : document_(document) {}
 
-Engine::~Engine() {
-  // No lock: destruction implies no concurrent users.
-  CleanupTemporariesFrom(0, 0);
-}
+Engine::~Engine() = default;
 
 const xpath::AxisEvaluator& Engine::axes() {
-  // Guarded: concurrent evaluations (and every parallel worker's
-  // constructor) reach this; creation and the external-mutation repin must
-  // not race. In the steady state the critical section is two loads.
+  // Guarded: concurrent evaluations reach this; creation and the
+  // external-mutation refresh must not race. In the steady state the
+  // critical section is a couple of loads.
   std::lock_guard<std::mutex> lock(cache_mu_);
   if (axes_ == nullptr) {
-    // Materialise the lazily built leaf partition exactly once, before any
-    // evaluation can reach it: a freshly Built document still has
-    // leaves_dirty_ set, and concurrent shared-lock queries (or pool
-    // workers) racing the rebuild inside goddag().leaves() would be a data
-    // race. After this, only exclusive evaluations dirty it again (and
-    // CleanupTemporariesFrom re-materialises before releasing the lock).
-    document_->goddag().leaves();
     axes_ = std::make_unique<xpath::AxisEvaluator>(&document_->goddag());
-    // Freeze the index at the persistent snapshot; temporary virtual
-    // hierarchies are evaluated by delta scan, never indexed.
-    axes_->PinIndex();
-    pinned_revision_ = document_->goddag().revision();
-  } else if (document_->goddag().revision() != pinned_revision_) {
-    // The document was mutated directly (mutable_goddag()) since the pin —
-    // the engine's own temporaries keep pinned_revision_ in step, so this
-    // is an external change. Rebuild the snapshot once. Kept temporaries
-    // end up both indexed and delta-scanned, which is harmless while they
-    // live (step results dedup by node id); snapshot_has_temporaries_
-    // makes their eventual removal repin (see CleanupTemporariesFrom).
-    document_->goddag().leaves();  // re-materialise, as in the init branch
-    axes_->UnpinIndex();
-    axes_->PinIndex();
-    pinned_revision_ = document_->goddag().revision();
-    snapshot_has_temporaries_ = !temp_hierarchies_.empty();
   }
+  // Materialise the lazily built leaf partition and the base RangeIndex
+  // before any evaluation can reach them: evaluation never mutates the base
+  // document (temporaries live in overlays), so after this both are plain
+  // reads for any number of concurrent evaluations. A direct document
+  // mutation between queries (mutable_goddag()) dirties both; this is the
+  // single point that rebuilds them, exactly once per mutation.
+  document_->goddag().leaves();
+  axes_->index();
   return *axes_;
 }
 
 size_t Engine::index_rebuild_count() const {
   return axes_ == nullptr ? 0 : axes_->index_rebuild_count();
+}
+
+size_t Engine::temporary_hierarchy_count() const {
+  std::lock_guard<std::mutex> lock(kept_->mu);
+  return kept_->overlays.size();
+}
+
+std::vector<std::shared_ptr<const goddag::GoddagOverlay>>
+Engine::SnapshotKept() const {
+  std::lock_guard<std::mutex> lock(kept_->mu);
+  return kept_->overlays;
 }
 
 StatusOr<const Expr*> Engine::PreparedQuery(std::string_view query) {
@@ -1260,50 +1252,38 @@ base::ThreadPool* Engine::pool(unsigned threads) {
   return pool_.get();
 }
 
-StatusOr<std::vector<std::string>> Engine::EvaluateInternal(
-    std::string_view query, bool keep_temporaries,
-    const QueryOptions& options) {
+StatusOr<Engine::EvaluationOutput> Engine::EvaluateInternal(
+    std::string_view query, const QueryOptions& options) {
   MHX_ASSIGN_OR_RETURN(const Expr* expr, PreparedQuery(query));
-  base::ThreadPool* fan_out_pool = pool(options.threads);
-  // Side-effect-free queries evaluate concurrently; a query that can
-  // materialise temporary hierarchies mutates the shared KyGoddag and must
-  // exclude all readers.
-  if (IsParallelSafe(expr->root())) {
-    std::shared_lock<std::shared_mutex> lock(eval_mu_);
-    return EvaluateLocked(*expr, keep_temporaries, options, fan_out_pool);
-  }
-  std::unique_lock<std::shared_mutex> lock(eval_mu_);
-  return EvaluateLocked(*expr, keep_temporaries, options, fan_out_pool);
-}
-
-StatusOr<std::vector<std::string>> Engine::EvaluateLocked(
-    const Expr& expr, bool keep_temporaries, const QueryOptions& options,
-    base::ThreadPool* fan_out_pool) {
-  // Pin the axis index before any temporaries can exist, so the snapshot
-  // only ever covers persistent nodes. Under the eval lock: the pin
-  // bookkeeping (pinned_revision_) must not race with an exclusive
-  // evaluation's analyze-string() mutations.
-  axes();
-  // Tear down only this evaluation's temporaries — hierarchies kept alive
-  // by an earlier EvaluateKeepingTemporaries stay until the caller's
-  // CleanupTemporaries.
-  const size_t hierarchy_mark = temp_hierarchies_.size();
-  const size_t node_mark = temp_nodes_.size();
-  Evaluator evaluator(this, &options, fan_out_pool);
-  auto result = evaluator.Evaluate(expr.root());
-  if (!result.ok()) {
-    CleanupTemporariesFrom(hierarchy_mark, node_mark);
-    return result.status();
-  }
-  // Serialise before teardown: node items may live in temporary
-  // hierarchies.
-  std::vector<std::string> serialized;
-  serialized.reserve(result->size());
+  // threads: 0 and 1 are the same request — serial evaluation. Normalising
+  // here keeps every later decision (pool creation, ShouldParallelize,
+  // chunking) on one code path with identical plans and counters.
+  QueryOptions normalized = options;
+  if (normalized.threads == 0) normalized.threads = 1;
+  base::ThreadPool* fan_out_pool = pool(normalized.threads);
+  const xpath::AxisEvaluator& axes_ref = axes();
+  // The evaluation's private read seam: the immutable base, every kept
+  // temporary hierarchy, and (as they are created) the evaluation's own
+  // overlays. No lock is held while evaluating — concurrent evaluations,
+  // analyze-string() included, only share immutable state.
+  goddag::OverlayView view(&document_->goddag());
+  for (auto& overlay : SnapshotKept()) view.AddOverlay(std::move(overlay));
+  std::vector<std::shared_ptr<const goddag::GoddagOverlay>> own;
+  Evaluator evaluator(this, &axes_ref, &normalized, fan_out_pool, &view,
+                      &own);
+  auto result = evaluator.Evaluate(expr->root());
+  // On error the overlays in `own` (and the view) are dropped right here —
+  // that is the entire teardown.
+  if (!result.ok()) return result.status();
+  // Serialise before returning: node items may live in `own` overlays,
+  // which the caller may drop.
+  EvaluationOutput out;
+  out.items.reserve(result->size());
   for (const Evaluator::Item& item : *result) {
-    serialized.push_back(evaluator.SerializeItem(item));
+    out.items.push_back(evaluator.SerializeItem(item));
   }
-  if (!keep_temporaries) CleanupTemporariesFrom(hierarchy_mark, node_mark);
-  return serialized;
+  out.temporaries = std::move(own);
+  return out;
 }
 
 StatusOr<std::string> Engine::Evaluate(std::string_view query) {
@@ -1312,50 +1292,47 @@ StatusOr<std::string> Engine::Evaluate(std::string_view query) {
 
 StatusOr<std::string> Engine::Evaluate(std::string_view query,
                                        const QueryOptions& options) {
-  MHX_ASSIGN_OR_RETURN(
-      std::vector<std::string> items,
-      EvaluateInternal(query, /*keep_temporaries=*/false, options));
+  MHX_ASSIGN_OR_RETURN(EvaluationOutput output,
+                       EvaluateInternal(query, options));
   std::string out;
-  for (const std::string& item : items) out += item;
-  return out;
+  for (const std::string& item : output.items) out += item;
+  return out;  // output.temporaries dropped here — the overlays are gone
 }
 
-StatusOr<std::vector<std::string>> Engine::EvaluateKeepingTemporaries(
+StatusOr<KeptEvaluation> Engine::EvaluateKeepingTemporaries(
     std::string_view query) {
-  return EvaluateInternal(query, /*keep_temporaries=*/true, QueryOptions());
+  MHX_ASSIGN_OR_RETURN(EvaluationOutput output,
+                       EvaluateInternal(query, QueryOptions()));
+  if (!output.temporaries.empty()) {
+    std::lock_guard<std::mutex> lock(kept_->mu);
+    kept_->overlays.insert(kept_->overlays.end(),
+                           output.temporaries.begin(),
+                           output.temporaries.end());
+  }
+  KeptEvaluation kept;
+  kept.items = std::move(output.items);
+  kept.temporaries = KeptTemporaries(kept_, std::move(output.temporaries));
+  return kept;
 }
 
 void Engine::CleanupTemporaries() {
-  std::unique_lock<std::shared_mutex> lock(eval_mu_);
-  CleanupTemporariesFrom(0, 0);
+  std::lock_guard<std::mutex> lock(kept_->mu);
+  // Evaluations that already snapshotted the registry keep their overlay
+  // references (shared_ptr) and finish safely; new evaluations no longer
+  // see the hierarchies.
+  kept_->overlays.clear();
 }
 
-void Engine::CleanupTemporariesFrom(size_t hierarchy_mark, size_t node_mark) {
-  if (temp_hierarchies_.size() <= hierarchy_mark) return;
-  auto* goddag = const_cast<goddag::KyGoddag*>(&document_->goddag());
-  for (size_t i = hierarchy_mark; i < temp_hierarchies_.size(); ++i) {
-    // Removal can only fail for ids we did not create; ignore defensively.
-    Status status = goddag->RemoveVirtualHierarchy(temp_hierarchies_[i]);
-    (void)status;
+void KeptTemporaries::Release() {
+  if (auto registry = registry_.lock()) {
+    std::lock_guard<std::mutex> lock(registry->mu);
+    for (const auto& overlay : overlays_) {
+      auto& kept = registry->overlays;
+      kept.erase(std::remove(kept.begin(), kept.end(), overlay), kept.end());
+    }
   }
-  temp_hierarchies_.resize(hierarchy_mark);
-  temp_nodes_.resize(node_mark);
-  // Materialise the (lazily rebuilt) leaf partition while this thread still
-  // holds the document exclusively — with incremental maintenance off, a
-  // later leaves() call would otherwise rebuild under a shared lock.
-  document_->goddag().leaves();
-  // Our own mutations; see axes().
-  pinned_revision_ = document_->goddag().revision();
-  if (snapshot_has_temporaries_ && axes_ != nullptr) {
-    // The snapshot indexed some of the nodes just freed; their slots will
-    // be recycled by later analyze-string() calls, so rebuild now rather
-    // than serve stale entries. Unreachable in the common pin-then-query
-    // lifecycle, where the snapshot predates every temporary.
-    axes_->UnpinIndex();
-    axes_->PinIndex();
-    pinned_revision_ = document_->goddag().revision();
-    snapshot_has_temporaries_ = !temp_hierarchies_.empty();
-  }
+  overlays_.clear();
+  registry_.reset();
 }
 
 }  // namespace mhx::xquery

@@ -2,38 +2,40 @@
 //
 // The XQuery evaluation engine over a MultihierarchicalDocument: FLWOR
 // expressions, predicates, constructors, the paper's extended axes in path
-// steps, and analyze-string() with XML fragment patterns (which materialises
-// matches as *temporary virtual hierarchies* on the KyGODDAG — hence the
-// KeepingTemporaries/CleanupTemporaries pair, letting benchmarks separate
-// evaluation cost from virtual-hierarchy teardown).
+// steps, and analyze-string() with XML fragment patterns, which materialises
+// matches as *temporary virtual hierarchies*. Temporaries live in
+// evaluation-scoped overlay namespaces (goddag/overlay.h): each evaluation
+// reads the immutable base KyGoddag through an OverlayView holding any kept
+// hierarchies plus its own, and never mutates the document — teardown is
+// simply dropping the overlays when the evaluation returns.
 //
-// Index discipline: the engine pins its AxisEvaluator's RangeIndex to the
-// persistent document snapshot the first time it evaluates. Temporary
-// virtual hierarchies created by analyze-string() never enter the index —
-// extended-axis steps evaluate them with a naive delta scan over the
-// engine's temporary-node list instead. The add/query/remove cycle of every
-// analyze-string() call therefore costs zero O(N log N) index rebuilds;
-// index_rebuild_count() (at most 1 per engine) is the proof, surfaced as a
-// benchmark counter in bench_paper_queries.cc.
+// Index discipline: the engine's AxisEvaluator keeps one RangeIndex over the
+// base document, materialised before the first evaluation. Overlay nodes
+// never enter it — extended-axis steps read "base index + overlay scan"
+// uniformly — so the add/query/drop cycle of every analyze-string() call
+// costs zero O(N log N) index rebuilds; index_rebuild_count() (1 per engine
+// unless the document is mutated directly between queries) is the proof,
+// surfaced as a benchmark counter in bench_paper_queries.cc.
 //
 // Concurrency contract. Two independent levels:
 //
-//  * Across threads, Evaluate/EvaluateKeepingTemporaries may be called
-//    concurrently on one engine. Queries whose AST IsParallelSafe (no
-//    analyze-string(), so no temporary hierarchies) evaluate under a shared
-//    lock and run truly concurrently; queries that materialise temporaries
-//    (and CleanupTemporaries) take the lock exclusively, so their KyGoddag
-//    mutations never race with readers. The prepared-query and
-//    compiled-pattern caches are mutex-guarded.
+//  * Across threads, any number of Evaluate / EvaluateKeepingTemporaries
+//    calls may run concurrently on one engine — including queries that
+//    materialise temporary hierarchies via analyze-string(), which was the
+//    serialisation point under the old document-mutation model. There is no
+//    evaluation lock left: evaluations share the immutable base and write
+//    only their private overlays. The prepared-query and compiled-pattern
+//    caches and the kept-temporaries registry are mutex-guarded.
 //  * Within one query, QueryOptions{threads > 1} fans independent FLWOR
 //    `for` iterations and some/every quantifier bindings out across a
-//    base::ThreadPool whenever the binding body IsParallelSafe, merging
-//    per-iteration results in binding order — results are byte-identical to
-//    serial evaluation, errors included, with one narrow exception: a
-//    quantifier binding that serial evaluation would have reported as an
-//    error can be skipped entirely by short-circuit cancellation when a
-//    genuinely deciding binding finishes first (the boolean returned is
-//    still correct for the bindings that exist).
+//    base::ThreadPool whenever the binding body IsParallelSafe; workers
+//    share the coordinator's overlay view read-only, and per-iteration
+//    results merge in binding order — results are byte-identical to serial
+//    evaluation, errors included, with one narrow exception: a quantifier
+//    binding that serial evaluation would have reported as an error can be
+//    skipped entirely by short-circuit cancellation when a genuinely
+//    deciding binding finishes first (the boolean returned is still correct
+//    for the bindings that exist).
 //
 // Mutating the document directly (mutable_goddag()) while any query runs
 // remains undefined behaviour, as does moving the document.
@@ -45,7 +47,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -53,6 +54,7 @@
 #include "base/statusor.h"
 #include "base/thread_pool.h"
 #include "goddag/kygoddag.h"
+#include "goddag/overlay.h"
 #include "regex/regex.h"
 #include "xpath/axes.h"
 
@@ -64,20 +66,75 @@ namespace mhx::xquery {
 
 class Expr;
 class Evaluator;
+class Engine;
 
 // Per-evaluation knobs, passed alongside the query text.
 struct QueryOptions {
-  // Worker threads for intra-query fan-out. <= 1 evaluates serially. The
-  // engine keeps one shared pool, grown to the largest `threads` any
-  // evaluation has requested; `threads` also sets this evaluation's
-  // chunking granularity (4 chunks per requested thread), so a smaller
-  // request on a bigger shared pool can run wider than asked — treat the
-  // knob as a fan-out width, not a hard concurrency cap.
+  // Worker threads for intra-query fan-out. 0 and 1 both mean serial
+  // evaluation (0 is normalised to 1 on entry — identical code path, plan,
+  // and counters). The engine keeps one shared pool, grown to the largest
+  // `threads` any evaluation has requested; `threads` also sets this
+  // evaluation's chunking granularity (4 chunks per requested thread), so a
+  // smaller request on a bigger shared pool can run wider than asked —
+  // treat the knob as a fan-out width, not a hard concurrency cap.
   unsigned threads = 1;
   // Testing only: ignore ordering guarantees and re-sort + dedup after every
   // path step, as the engine did before guarantees existed. Lets tests pin
   // that the guarantee-driven merge path is byte-identical to brute force.
   bool force_step_sort = false;
+};
+
+namespace internal {
+// The engine's registry of kept temporary hierarchies. Held by shared_ptr
+// so KeptTemporaries handles stay safe (inert) if they outlive the engine.
+struct KeptRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<const goddag::GoddagOverlay>> overlays;
+};
+}  // namespace internal
+
+// Move-only handle returned by EvaluateKeepingTemporaries: it keeps that
+// evaluation's temporary virtual hierarchies alive and registered on the
+// engine, so later evaluations see them on extended axes (and in their leaf
+// partition). Dropping the handle — or calling Release(), or the engine's
+// CleanupTemporaries() — unregisters them; the overlay memory is freed when
+// the last reader lets go. No repin, no cleanup marks: kept temporaries
+// never touch the base document.
+class KeptTemporaries {
+ public:
+  KeptTemporaries() = default;
+  KeptTemporaries(KeptTemporaries&&) noexcept = default;
+  KeptTemporaries& operator=(KeptTemporaries&& other) noexcept {
+    Release();
+    registry_ = std::move(other.registry_);
+    overlays_ = std::move(other.overlays_);
+    return *this;
+  }
+  ~KeptTemporaries() { Release(); }
+
+  // Unregisters the kept hierarchies from the engine. Idempotent; a no-op
+  // after the engine called CleanupTemporaries or was destroyed.
+  void Release();
+
+  // Temporary virtual hierarchies this handle keeps (0 once released).
+  size_t hierarchy_count() const { return overlays_.size(); }
+
+ private:
+  friend class Engine;
+  KeptTemporaries(
+      std::weak_ptr<internal::KeptRegistry> registry,
+      std::vector<std::shared_ptr<const goddag::GoddagOverlay>> overlays)
+      : registry_(std::move(registry)), overlays_(std::move(overlays)) {}
+
+  std::weak_ptr<internal::KeptRegistry> registry_;
+  std::vector<std::shared_ptr<const goddag::GoddagOverlay>> overlays_;
+};
+
+// EvaluateKeepingTemporaries' result: one serialised string per result item,
+// plus the handle owning the evaluation's temporary hierarchies.
+struct KeptEvaluation {
+  std::vector<std::string> items;
+  KeptTemporaries temporaries;
 };
 
 class Engine {
@@ -87,31 +144,34 @@ class Engine {
 
   // Evaluates a query and serialises the result sequence (items are
   // concatenated without separators; leaves serialise as their base-text
-  // characters, constructed elements as tags).
+  // characters, constructed elements as tags). Temporary virtual
+  // hierarchies the query materialises are evaluation-private and dropped
+  // on return.
   StatusOr<std::string> Evaluate(std::string_view query);
   StatusOr<std::string> Evaluate(std::string_view query,
                                  const QueryOptions& options);
 
   // Evaluates a query but keeps any virtual hierarchies created by
-  // analyze-string() alive so the caller can inspect (or benchmark) them.
-  // Each element of the result is one serialised item.
-  StatusOr<std::vector<std::string>> EvaluateKeepingTemporaries(
-      std::string_view query);
+  // analyze-string() alive — and visible to later evaluations — for as long
+  // as the returned handle is (see KeptTemporaries).
+  StatusOr<KeptEvaluation> EvaluateKeepingTemporaries(std::string_view query);
 
-  // Removes the virtual hierarchies kept by EvaluateKeepingTemporaries.
+  // Unregisters every kept temporary hierarchy, regardless of outstanding
+  // handles (which become inert).
   void CleanupTemporaries();
 
   const MultihierarchicalDocument* document() const { return document_; }
 
   // RangeIndex constructions this engine has paid for — stays at one no
-  // matter how many analyze-string() add/query/remove cycles have run.
+  // matter how many analyze-string() overlay cycles have run (only a direct
+  // document mutation between queries adds one).
   size_t index_rebuild_count() const;
 
-  // Temporary virtual hierarchies currently alive (nonzero only between
-  // EvaluateKeepingTemporaries and CleanupTemporaries).
-  size_t temporary_hierarchy_count() const {
-    return temp_hierarchies_.size();
-  }
+  // Temporary virtual hierarchies currently kept alive by
+  // EvaluateKeepingTemporaries handles (in-flight evaluations' private
+  // overlays are not counted — they are invisible outside their
+  // evaluation).
+  size_t temporary_hierarchy_count() const;
 
   // Path-step sort+dedup passes the step loop skipped because an ordering
   // guarantee (xpath::Ordering) made them unnecessary — replaced by nothing
@@ -130,61 +190,56 @@ class Engine {
   friend class mhx::MultihierarchicalDocument;
   friend class Evaluator;
 
+  // One evaluation's full output: the serialised items plus the overlays it
+  // materialised (kept or dropped by the public entry points).
+  struct EvaluationOutput {
+    std::vector<std::string> items;
+    std::vector<std::shared_ptr<const goddag::GoddagOverlay>> temporaries;
+  };
+
   // Called by the document's move operations to keep the back-reference
   // valid.
   void Rebind(const MultihierarchicalDocument* document) {
     document_ = document;
   }
 
-  // Parses `query` (or retrieves it from the prepared-query cache), decides
-  // the locking mode from IsParallelSafe, and evaluates; on success returns
-  // one serialised string per result item.
-  StatusOr<std::vector<std::string>> EvaluateInternal(
-      std::string_view query, bool keep_temporaries,
-      const QueryOptions& options);
-
-  // The evaluation body proper, running under the lock EvaluateInternal
-  // chose. `fan_out_pool` is null for serial evaluation.
-  StatusOr<std::vector<std::string>> EvaluateLocked(
-      const Expr& expr, bool keep_temporaries, const QueryOptions& options,
-      base::ThreadPool* fan_out_pool);
+  // Parses `query` (or retrieves it from the prepared-query cache), builds
+  // the evaluation's overlay view (kept hierarchies snapshot), and
+  // evaluates. No lock is held during evaluation.
+  StatusOr<EvaluationOutput> EvaluateInternal(std::string_view query,
+                                              const QueryOptions& options);
 
   // Parses and caches `query` under cache_mu_; the returned Expr stays valid
   // for the engine's lifetime (map nodes are stable).
   StatusOr<const Expr*> PreparedQuery(std::string_view query);
 
-  // Removes the temporary hierarchies (and their delta-scan nodes) past the
-  // given high-water marks — evaluations tear down only their own
-  // temporaries, never ones an earlier EvaluateKeepingTemporaries kept.
-  // Caller must hold eval_mu_ exclusively (or be the destructor).
-  void CleanupTemporariesFrom(size_t hierarchy_mark, size_t node_mark);
-
+  // The engine's AxisEvaluator over the base document. Creates it on first
+  // use and materialises the base leaf partition and RangeIndex under
+  // cache_mu_, so everything evaluation reads concurrently is already
+  // built (a direct document mutation between queries re-materialises
+  // here, once).
   const xpath::AxisEvaluator& axes();
+
+  // A snapshot of the kept-hierarchy registry, for one evaluation's view.
+  std::vector<std::shared_ptr<const goddag::GoddagOverlay>> SnapshotKept()
+      const;
 
   // The shared fan-out pool, created (and grown to the largest requested
   // size) under cache_mu_. Returns nullptr for threads <= 1.
   base::ThreadPool* pool(unsigned threads);
 
   const MultihierarchicalDocument* document_;
-  // Lazily created, then pinned to the persistent snapshot (see header
-  // comment).
+  // Lazily created; see axes().
   std::unique_ptr<xpath::AxisEvaluator> axes_;
-  // The KyGoddag revision the pinned snapshot is valid for, advanced by the
-  // engine's own virtual-hierarchy add/remove cycles. A mismatch in axes()
-  // means someone mutated the document directly (mutable_goddag()); the
-  // snapshot is then rebuilt and repinned once — analyze-string cycles
-  // alone never trigger this.
-  uint64_t pinned_revision_ = 0;
-  // True when the pinned snapshot was (re)built while kept temporaries
-  // existed and therefore indexes temporary nodes. Removing those
-  // temporaries must then repin — their recycled node slots would otherwise
-  // resolve stale index entries to unrelated live nodes.
-  bool snapshot_has_temporaries_ = false;
-  // Virtual hierarchies created by analyze-string() during the current (or
-  // a kept) evaluation, plus all of their node ids — the delta the engine
-  // scans for extended axes. Only mutated under an exclusive eval_mu_.
-  std::vector<goddag::HierarchyId> temp_hierarchies_;
-  std::vector<goddag::NodeId> temp_nodes_;
+  // Id blocks for every overlay any evaluation of this engine creates —
+  // one namespace, so kept hierarchies and evaluation-private ones never
+  // collide inside a view. Shared with the overlays themselves so a
+  // KeptTemporaries handle held past engine destruction releases safely.
+  std::shared_ptr<goddag::OverlayIdAllocator> overlay_ids_ =
+      std::make_shared<goddag::OverlayIdAllocator>();
+  // Kept temporary hierarchies; evaluations snapshot this into their view.
+  std::shared_ptr<internal::KeptRegistry> kept_ =
+      std::make_shared<internal::KeptRegistry>();
   // Prepared-query and compiled-pattern caches (documents are immutable
   // after Build, so both stay valid for the engine's lifetime). Guarded by
   // cache_mu_; the mapped values live at stable addresses.
@@ -193,9 +248,6 @@ class Engine {
 
   // Guards query_cache_, regex_cache_, pool_ creation, and axes_ creation.
   std::mutex cache_mu_;
-  // Shared by side-effect-free evaluations, exclusive for evaluations that
-  // create temporary hierarchies and for CleanupTemporaries.
-  std::shared_mutex eval_mu_;
   std::unique_ptr<base::ThreadPool> pool_;
   // Pools superseded by a larger request; kept alive (idle) because an
   // in-flight evaluation may still hold a pointer to one.

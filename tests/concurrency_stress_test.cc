@@ -1,11 +1,12 @@
 // Copyright (c) mhxq authors. Licensed under the MIT license.
 //
 // The concurrency stress binary the TSan CI lane runs on its own: it
-// hammers every cross-thread path at once — shared-lock readers, the
-// exclusive analyze-string path, intra-query thread-pool fan-out, lazy
-// engine/axes/cache initialisation races, and the raw ThreadPool. Iteration
-// counts are deliberately modest: under TSan the point is interleaving
-// coverage, not throughput.
+// hammers every cross-thread path at once — concurrent readers, concurrent
+// analyze-string() queries building evaluation-scoped overlays (previously
+// single-flight behind an exclusive lock), kept-temporaries registry churn,
+// intra-query thread-pool fan-out, lazy engine/axes/cache initialisation
+// races, and the raw ThreadPool. Iteration counts are deliberately modest:
+// under TSan the point is interleaving coverage, not throughput.
 
 #include <gtest/gtest.h>
 
@@ -76,8 +77,9 @@ TEST(ConcurrencyStressTest, MixedWorkloadOnOneDocument) {
       }
     });
   }
-  // Exclusive-lock writers: analyze-string creates and tears down temporary
-  // virtual hierarchies between the readers' evaluations.
+  // analyze-string queries: their temporary virtual hierarchies live in
+  // evaluation-scoped overlays, so they run concurrently with every reader
+  // above instead of serialising behind an exclusive lock.
   threads.emplace_back([&doc, &failures] {
     for (int i = 0; i < 6; ++i) {
       auto out = doc.Query(
@@ -94,6 +96,69 @@ TEST(ConcurrencyStressTest, MixedWorkloadOnOneDocument) {
           "string-length(string($w)) > 9",
           parallel);
       if (!out.ok()) ++failures;
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(doc.engine()->temporary_hierarchy_count(), 0u);
+}
+
+// N threads running the same analyze-string() query (paper query II.1) on
+// one document at once — structurally impossible before evaluation-scoped
+// overlays, when temporary hierarchies were document-global mutations
+// behind an exclusive lock. Every thread's every output must be
+// byte-identical to the serial evaluation, and nothing may leak.
+TEST(ConcurrencyStressTest, ConcurrentAnalyzeStringIsByteIdentical) {
+  auto built = workload::BuildPaperDocument();
+  ASSERT_TRUE(built.ok()) << built.status();
+  MultihierarchicalDocument doc = std::move(built).value();
+  auto serial = doc.Query(workload::kQueryII1);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  const std::string expected = *serial;
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&doc, &expected, &failures] {
+      for (int i = 0; i < 8; ++i) {
+        auto out = doc.Query(workload::kQueryII1);
+        if (!out.ok() || *out != expected) ++failures;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(doc.engine()->temporary_hierarchy_count(), 0u);
+  // Overlay churn never rebuilds the base index.
+  EXPECT_EQ(doc.engine()->index_rebuild_count(), 1u);
+}
+
+// Kept-temporaries registry churn racing readers: one thread keeps and
+// releases handles (EvaluateKeepingTemporaries / handle drop) while others
+// evaluate queries whose views snapshot the registry. Reader results vary
+// legitimately with keep/release timing only in ways the assertions below
+// are insensitive to (kQueryI1 touches no analyze-string names).
+TEST(ConcurrencyStressTest, KeptTemporariesChurnUnderConcurrentReaders) {
+  auto built = workload::BuildPaperDocument();
+  ASSERT_TRUE(built.ok()) << built.status();
+  MultihierarchicalDocument doc = std::move(built).value();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&doc, &failures] {
+      for (int i = 0; i < 10; ++i) {
+        auto out = doc.Query(workload::kQueryI1);
+        if (!out.ok() || *out != workload::kExpectedI1) ++failures;
+      }
+    });
+  }
+  threads.emplace_back([&doc, &failures] {
+    for (int i = 0; i < 10; ++i) {
+      auto kept = doc.engine()->EvaluateKeepingTemporaries(
+          "analyze-string(/descendant::w[string(.) = 'unawendendne'],"
+          " \".*un<a>a</a>we.*\")");
+      if (!kept.ok() || kept->temporaries.hierarchy_count() != 1) ++failures;
+      // The handle drops at scope end, unregistering the hierarchy.
     }
   });
   for (std::thread& thread : threads) thread.join();

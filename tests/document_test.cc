@@ -76,9 +76,10 @@ TEST(DocumentTest, QueryEvaluatesThroughTheEngine) {
   auto* engine = doc->engine();
   ASSERT_NE(engine, nullptr);
   EXPECT_EQ(engine, doc->engine());  // stable across calls
-  auto items = engine->EvaluateKeepingTemporaries("(1, 2)");
-  ASSERT_TRUE(items.ok()) << items.status();
-  EXPECT_EQ(*items, (std::vector<std::string>{"1", "2"}));
+  auto kept = engine->EvaluateKeepingTemporaries("(1, 2)");
+  ASSERT_TRUE(kept.ok()) << kept.status();
+  EXPECT_EQ(kept->items, (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(kept->temporaries.hierarchy_count(), 0u);  // nothing to keep
   engine->CleanupTemporaries();  // no temporaries: must be a no-op
 }
 

@@ -1,0 +1,276 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// The evaluation-scoped overlay layer: id-block allocation, overlay
+// construction and resolution through OverlayView, the merged leaf
+// partition, and view-aware axis evaluation (base index + overlay scan).
+
+#include "goddag/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "workload/paper_data.h"
+#include "xml/parser.h"
+#include "xpath/axes.h"
+
+namespace mhx::goddag {
+namespace {
+
+KyGoddag PaperGoddag() {
+  KyGoddag kg(mhx::workload::kPaperBaseText);
+  auto phys = mhx::xml::Parse(mhx::workload::kPaperPhysicalXml);
+  auto strut = mhx::xml::Parse(mhx::workload::kPaperStructuralXml);
+  EXPECT_TRUE(phys.ok());
+  EXPECT_TRUE(strut.ok());
+  EXPECT_TRUE(kg.AddHierarchy("physical", *phys).ok());
+  EXPECT_TRUE(kg.AddHierarchy("structural", *strut).ok());
+  return kg;
+}
+
+std::shared_ptr<const GoddagOverlay> MustCreate(
+    const KyGoddag* base, std::shared_ptr<OverlayIdAllocator> ids,
+    const std::string& name, std::vector<VirtualElement> elements) {
+  auto overlay =
+      GoddagOverlay::Create(base, std::move(ids), name, std::move(elements));
+  EXPECT_TRUE(overlay.ok()) << overlay.status();
+  return *overlay;
+}
+
+TEST(OverlayIdAllocatorTest, BlocksAreDisjointAndTagged) {
+  OverlayIdAllocator ids;
+  NodeId a = ids.Allocate(3);
+  NodeId b = ids.Allocate(5);
+  EXPECT_TRUE(IsOverlayId(a));
+  EXPECT_TRUE(IsOverlayId(b));
+  EXPECT_GE(b, a + 3);  // disjoint, monotonic
+  ids.Release(a, 3);
+  ids.Release(b, 5);
+}
+
+TEST(OverlayIdAllocatorTest, RewindsWhenDrainedAndFailsWhenExhausted) {
+  OverlayIdAllocator ids;
+  // Nearly exhaust the 2^31 - 1 namespace with one huge lease (ids are
+  // counters, not memory — nothing this size is materialised).
+  NodeId big = ids.Allocate(0x7FFFFF00u);
+  ASSERT_NE(big, kInvalidNode);
+  NodeId small = ids.Allocate(0x80);
+  EXPECT_NE(small, kInvalidNode);                // still fits
+  EXPECT_EQ(ids.Allocate(0x100), kInvalidNode);  // does not
+  ids.Release(small, 0x80);
+  EXPECT_EQ(ids.Allocate(0x100), kInvalidNode);  // big block still leased
+  ids.Release(big, 0x7FFFFF00u);
+  // Fully drained: the cursor rewinds and the namespace is fresh again.
+  NodeId again = ids.Allocate(0x100);
+  EXPECT_EQ(again, kOverlayIdBit);
+  ids.Release(again, 0x100);
+}
+
+TEST(OverlayIdAllocatorTest, TailRewindReclaimsChurnAboveAPinnedBlock) {
+  OverlayIdAllocator ids;
+  // A long-lived kept block pinned low in the namespace...
+  NodeId pinned = ids.Allocate(4);
+  ASSERT_NE(pinned, kInvalidNode);
+  // ...must not stop released churn above it from being reclaimed: each
+  // freed tail block rewinds the cursor, so the same ids recycle forever
+  // instead of the namespace exhausting after 2^31 cumulative nodes.
+  NodeId first = ids.Allocate(8);
+  ids.Release(first, 8);
+  for (int i = 0; i < 100; ++i) {
+    NodeId block = ids.Allocate(8);
+    EXPECT_EQ(block, first) << "iteration " << i;
+    ids.Release(block, 8);
+  }
+  // Out-of-order release under a live block reclaims once the tail frees.
+  NodeId lower = ids.Allocate(8);
+  NodeId upper = ids.Allocate(8);
+  ids.Release(lower, 8);   // sandwiched under `upper`: parked
+  ids.Release(upper, 8);   // tail frees: rewind absorbs both
+  EXPECT_EQ(ids.Allocate(8), lower);
+  ids.Release(lower, 8);
+  ids.Release(pinned, 4);
+}
+
+TEST(GoddagOverlayTest, BuildsRootedTreeInItsOwnNamespace) {
+  KyGoddag kg = PaperGoddag();
+  auto ids = std::make_shared<OverlayIdAllocator>();
+  auto overlay = MustCreate(&kg, ids, "result",
+                            {VirtualElement{"m", TextRange(9, 14), {}},
+                             VirtualElement{"a", TextRange(11, 12), {}}});
+  ASSERT_EQ(overlay->node_count(), 3u);
+  EXPECT_TRUE(IsOverlayId(overlay->root()));
+  const GNode& root = overlay->node(overlay->root());
+  EXPECT_EQ(root.name, "result");
+  EXPECT_EQ(root.range, TextRange(0, kg.base_text().size()));
+  // The overlay root hangs off the *base* GODDAG root, but the base is
+  // untouched: no new children, no revision bump, no element count change.
+  EXPECT_EQ(root.parent, kg.root());
+  EXPECT_EQ(kg.node(kg.root()).children.size(), 2u);
+  EXPECT_EQ(kg.element_count(), 17u);
+  // m nests under the root, a under m; all ids in the overlay namespace.
+  const NodeId m = overlay->elements_begin();
+  EXPECT_EQ(overlay->node(m).name, "m");
+  EXPECT_EQ(overlay->node(m).parent, overlay->root());
+  const NodeId a = m + 1;
+  EXPECT_EQ(overlay->node(a).name, "a");
+  EXPECT_EQ(overlay->node(a).parent, m);
+}
+
+TEST(GoddagOverlayTest, RejectsOverlappingElements) {
+  KyGoddag kg = PaperGoddag();
+  auto ids = std::make_shared<OverlayIdAllocator>();
+  auto overlay = GoddagOverlay::Create(
+      &kg, ids, "bad",
+      {VirtualElement{"x", TextRange(0, 10), {}},
+       VirtualElement{"y", TextRange(5, 15), {}}});
+  EXPECT_FALSE(overlay.ok());
+  EXPECT_EQ(overlay.status().code(), StatusCode::kInvalidArgument);
+  // Validation failed before any lease: the namespace is untouched.
+  NodeId probe = ids->Allocate(1);
+  EXPECT_EQ(probe, kOverlayIdBit);
+  ids->Release(probe, 1);
+}
+
+TEST(OverlayViewTest, ResolvesBaseAndOverlayIds) {
+  KyGoddag kg = PaperGoddag();
+  kg.leaves();  // materialise, as the engine does before evaluating
+  auto ids = std::make_shared<OverlayIdAllocator>();
+  OverlayView view(&kg);
+  EXPECT_EQ(&view.node(kg.root()), &kg.node(kg.root()));
+
+  auto overlay = MustCreate(&kg, ids, "result",
+                            {VirtualElement{"m", TextRange(9, 14), {}}});
+  const NodeId m = overlay->elements_begin();
+  view.AddOverlay(overlay);
+  EXPECT_EQ(view.overlay_of(m), overlay.get());
+  EXPECT_EQ(view.node(m).name, "m");
+  EXPECT_EQ(view.NodeString(m), "unawe");
+  // Ids outside every registered block resolve to no overlay.
+  EXPECT_EQ(view.overlay_of(overlay->id_end()), nullptr);
+}
+
+TEST(OverlayViewTest, MergedLeavesSplitAtOverlayBoundaries) {
+  KyGoddag kg = PaperGoddag();
+  const size_t base_cells = kg.leaves().size();
+  auto ids = std::make_shared<OverlayIdAllocator>();
+  OverlayView view(&kg);
+  // Without overlays the view serves the base partition itself.
+  EXPECT_EQ(&view.leaves(), &kg.leaves());
+
+  // "unawendendne" is [9,21); 11 and 12 are fresh boundaries, 9 is already
+  // a word boundary in the base partition.
+  view.AddOverlay(MustCreate(&kg, ids, "result",
+                             {VirtualElement{"a", TextRange(11, 12), {}}}));
+  const std::vector<Leaf>& merged = view.leaves();
+  EXPECT_EQ(merged.size(), base_cells + 2);
+  EXPECT_EQ(kg.leaves().size(), base_cells);  // base partition untouched
+  // The merged partition still tiles [0, n).
+  EXPECT_EQ(merged.front().range.begin, 0u);
+  EXPECT_EQ(merged.back().range.end, kg.base_text().size());
+  for (size_t i = 0; i + 1 < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].range.end, merged[i + 1].range.begin);
+  }
+  // Splicing an existing boundary is a no-op.
+  view.AddOverlay(MustCreate(&kg, ids, "again",
+                             {VirtualElement{"b", TextRange(11, 12), {}}}));
+  EXPECT_EQ(view.leaves().size(), base_cells + 2);
+}
+
+TEST(OverlayViewTest, ExtendedAxesReadBaseIndexPlusOverlayScan) {
+  KyGoddag kg = PaperGoddag();
+  kg.leaves();
+  auto ids = std::make_shared<OverlayIdAllocator>();
+  OverlayView view(&kg);
+  xpath::AxisEvaluator axes(&kg);
+
+  // The persistent <w> spanning "unawendendne" [9,21).
+  NodeId word = kInvalidNode;
+  for (NodeId id = 0; id < kg.node_table_size(); ++id) {
+    if (kg.node(id).kind == GNodeKind::kElement &&
+        kg.node(id).name == "w" && kg.node(id).range == TextRange(9, 21)) {
+      word = id;
+    }
+  }
+  ASSERT_NE(word, kInvalidNode);
+
+  const size_t base_hits =
+      axes.Evaluate(view, word, xpath::Axis::kXDescendant,
+                    xpath::NodeTest::Any())
+          .size();
+  auto overlay = MustCreate(&kg, ids, "result",
+                            {VirtualElement{"m", TextRange(9, 14), {}},
+                             VirtualElement{"a", TextRange(11, 12), {}}});
+  const NodeId m = overlay->elements_begin();
+  view.AddOverlay(overlay);
+
+  // xdescendant from the base word now also sees both overlay elements —
+  // in document order, with the base-only overload unchanged.
+  auto hits = axes.EvaluateAxisOnly(view, word, xpath::Axis::kXDescendant);
+  EXPECT_EQ(hits.size(), base_hits + 2);
+  EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end(),
+                             [&](NodeId a, NodeId b) {
+                               if (view.node(a).range != view.node(b).range) {
+                                 return view.node(a).range <
+                                        view.node(b).range;
+                               }
+                               return a < b;
+                             }));
+  EXPECT_EQ(axes.EvaluateAxisOnly(word, xpath::Axis::kXDescendant).size(),
+            base_hits);
+
+  // From the overlay side: xancestor of <a> climbs into the base document.
+  const NodeId a = m + 1;
+  auto ancestors = axes.Evaluate(view, a, xpath::Axis::kXAncestor,
+                                 xpath::NodeTest::Name("w"));
+  ASSERT_EQ(ancestors.size(), 1u);
+  EXPECT_EQ(ancestors[0], word);
+
+  // The plumbing root never leaks into extended axes.
+  for (NodeId hit :
+       axes.EvaluateAxisOnly(view, word, xpath::Axis::kXAncestor)) {
+    EXPECT_NE(hit, overlay->root());
+  }
+
+  // EvaluateRange (leaf contexts): base index + overlay scan, unified.
+  auto range_hits =
+      axes.EvaluateRange(view, TextRange(11, 12), xpath::Axis::kXAncestor);
+  EXPECT_NE(std::find(range_hits.begin(), range_hits.end(), m),
+            range_hits.end());
+  EXPECT_NE(std::find(range_hits.begin(), range_hits.end(), word),
+            range_hits.end());
+}
+
+TEST(OverlayViewTest, StandardAxesNavigateWithinTheOverlay) {
+  KyGoddag kg = PaperGoddag();
+  kg.leaves();
+  auto ids = std::make_shared<OverlayIdAllocator>();
+  OverlayView view(&kg);
+  xpath::AxisEvaluator axes(&kg);
+  auto overlay = MustCreate(&kg, ids, "result",
+                            {VirtualElement{"m", TextRange(4, 6), {}},
+                             VirtualElement{"m", TextRange(9, 14), {}}});
+  view.AddOverlay(overlay);
+  const NodeId first = overlay->elements_begin();
+  const NodeId second = first + 1;
+
+  auto children = axes.EvaluateAxisOnly(view, overlay->root(),
+                                        xpath::Axis::kChild);
+  EXPECT_EQ(children, (std::vector<NodeId>{first, second}));
+  // following/preceding stay within the overlay "hierarchy".
+  auto following =
+      axes.EvaluateAxisOnly(view, first, xpath::Axis::kFollowing);
+  EXPECT_EQ(following, (std::vector<NodeId>{second}));
+  auto preceding =
+      axes.EvaluateAxisOnly(view, second, xpath::Axis::kPreceding);
+  EXPECT_EQ(preceding, (std::vector<NodeId>{first}));
+  // ancestor climbs through the overlay root into the base GODDAG root.
+  auto ancestors = axes.EvaluateAxisOnly(view, first, xpath::Axis::kAncestor);
+  ASSERT_EQ(ancestors.size(), 2u);
+  EXPECT_EQ(ancestors[0], kg.root());
+  EXPECT_EQ(ancestors[1], overlay->root());
+}
+
+}  // namespace
+}  // namespace mhx::goddag

@@ -84,6 +84,39 @@ TEST_F(ParallelQueryTest, EditionFlworByteIdenticalAndActuallyParallel) {
   EXPECT_GT(edition_->engine()->parallel_tasks(), tasks_before);
 }
 
+// threads: 0 and 1 are the same request — serial evaluation. All three
+// spellings (0, 1, default) must produce the same output through the same
+// plan: no pool tasks dispatched, identical sort-skip behaviour.
+TEST_F(ParallelQueryTest, ThreadsZeroOneAndDefaultShareTheSerialPath) {
+  const char* query =
+      "for $w in /descendant::w return <l>{string-length(string($w))}</l>";
+  // Prime the prepared-query cache so every measured run is evaluation only.
+  const std::string expected = MustQuery(*edition_, query, QueryOptions());
+  struct Plan {
+    size_t tasks;
+    size_t skips;
+  };
+  auto run = [&](const QueryOptions& options) {
+    const size_t tasks_before = edition_->engine()->parallel_tasks();
+    const size_t skips_before = edition_->engine()->sorts_skipped();
+    EXPECT_EQ(MustQuery(*edition_, query, options), expected)
+        << "threads=" << options.threads;
+    return Plan{edition_->engine()->parallel_tasks() - tasks_before,
+                edition_->engine()->sorts_skipped() - skips_before};
+  };
+  const Plan by_default = run(QueryOptions());
+  const Plan zero = run(Threads(0));
+  const Plan one = run(Threads(1));
+  // Serial path: nothing dispatched to the pool under any spelling...
+  EXPECT_EQ(by_default.tasks, 0u);
+  EXPECT_EQ(zero.tasks, 0u);
+  EXPECT_EQ(one.tasks, 0u);
+  // ...and the same step plan (sort skips are a per-evaluation constant on
+  // the serial path).
+  EXPECT_EQ(zero.skips, by_default.skips);
+  EXPECT_EQ(one.skips, by_default.skips);
+}
+
 TEST_F(ParallelQueryTest, QuantifiersByteIdenticalWithFourThreads) {
   const char* queries[] = {
       "count(/descendant::line[some $w in xdescendant::w satisfies "
@@ -164,9 +197,9 @@ TEST_F(ParallelQueryTest, ConcurrentQueriesOnOneDocument) {
 }
 
 TEST_F(ParallelQueryTest, ConcurrentSafeAndTemporaryCreatingQueries) {
-  // Readers under the shared lock race an analyze-string query that takes
-  // the exclusive lock; both must keep producing their pinned outputs, and
-  // no temporaries may leak.
+  // Plain readers race an analyze-string query; with evaluation-scoped
+  // overlays both run truly concurrently, must keep producing their pinned
+  // outputs, and no temporaries may leak.
   constexpr int kIterations = 10;
   std::atomic<int> failures{0};
   std::vector<std::thread> threads;

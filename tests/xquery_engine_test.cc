@@ -144,28 +144,54 @@ TEST_F(XQueryEngineTest, EvaluationErrorsAreAnchored) {
             std::string::npos);
 }
 
-// --- analyze-string temporaries and the pinned index -----------------------
+// --- analyze-string temporaries in overlay namespaces ----------------------
 
 TEST_F(XQueryEngineTest, AnalyzeStringKeepsAndCleansTemporaries) {
   Engine* engine = doc_->engine();
   const size_t persistent_nodes = doc_->goddag().element_count();
+  const uint64_t revision = doc_->goddag().revision();
   const char* kCall =
       "analyze-string(/descendant::w[string(.) = 'unawendendne'],"
       " \".*un<a>a</a>we.*\")";
 
   auto result = engine->EvaluateKeepingTemporaries(kCall);
   ASSERT_TRUE(result.ok()) << result.status();
-  ASSERT_EQ(result->size(), 1u);
+  ASSERT_EQ(result->items.size(), 1u);
   // wrapper [9,21) > m [9,14) > a [11,12) over "unawendendne".
-  EXPECT_EQ((*result)[0],
+  EXPECT_EQ(result->items[0],
             "<analyze-string-result><m>un<a>a</a>we</m>ndendne"
             "</analyze-string-result>");
   EXPECT_EQ(engine->temporary_hierarchy_count(), 1u);
-  EXPECT_GT(doc_->goddag().element_count(), persistent_nodes);
+  EXPECT_EQ(result->temporaries.hierarchy_count(), 1u);
+  // The kept hierarchy lives in an overlay namespace: the base document is
+  // untouched even while it is alive — the invariant that lets queries run
+  // concurrently.
+  EXPECT_EQ(doc_->goddag().element_count(), persistent_nodes);
+  EXPECT_EQ(doc_->goddag().revision(), revision);
 
   engine->CleanupTemporaries();
   EXPECT_EQ(engine->temporary_hierarchy_count(), 0u);
   EXPECT_EQ(doc_->goddag().element_count(), persistent_nodes);
+}
+
+TEST_F(XQueryEngineTest, DroppingTheKeptHandleDropsTheHierarchies) {
+  Engine* engine = doc_->engine();
+  {
+    auto kept = engine->EvaluateKeepingTemporaries(
+        "analyze-string(/descendant::w[string(.) = 'unawendendne'],"
+        " \".*un<a>a</a>we.*\")");
+    ASSERT_TRUE(kept.ok()) << kept.status();
+    EXPECT_EQ(engine->temporary_hierarchy_count(), 1u);
+    EXPECT_EQ(Query("count(/descendant::w[string(.) = 'unawendendne']"
+                    "/xdescendant::a)"),
+              "1");
+  }
+  // The handle went out of scope: the hierarchies are unregistered without
+  // any CleanupTemporaries call.
+  EXPECT_EQ(engine->temporary_hierarchy_count(), 0u);
+  EXPECT_EQ(Query("count(/descendant::w[string(.) = 'unawendendne']"
+                  "/xdescendant::a)"),
+            "0");
 }
 
 TEST_F(XQueryEngineTest, PlainEvaluateLeavesKeptTemporariesAlive) {
@@ -211,17 +237,18 @@ TEST_F(XQueryEngineTest, AnalyzeStringCyclesNeverRebuildTheIndex) {
     auto out = doc_->Query(workload::kQueryII1);
     ASSERT_TRUE(out.ok()) << out.status();
   }
-  // One build when the engine first pinned its snapshot; the 20
-  // add/query/remove cycles above paid zero rebuilds.
+  // One build when the engine first materialised the base index; the 20
+  // overlay add/query/drop cycles above paid zero rebuilds.
   EXPECT_EQ(engine->index_rebuild_count(), 1u);
   EXPECT_EQ(engine->temporary_hierarchy_count(), 0u);
 }
 
-TEST_F(XQueryEngineTest, ExternalMutationsRepinTheIndexOnce) {
+TEST_F(XQueryEngineTest, ExternalMutationsRebuildTheIndexOnce) {
   Engine* engine = doc_->engine();
   EXPECT_EQ(Query("count(/descendant::w[xancestor::note])"), "0");
   const size_t builds = engine->index_rebuild_count();
-  // Mutate the document directly, outside the engine's own temporaries.
+  // Mutate the document directly — the one thing that can invalidate the
+  // base index (overlay temporaries never do).
   auto hid = doc_->mutable_goddag()->AddVirtualHierarchy(
       "notes", {goddag::VirtualElement{"note", TextRange(9, 21), {}}});
   ASSERT_TRUE(hid.ok()) << hid.status();
@@ -235,10 +262,12 @@ TEST_F(XQueryEngineTest, ExternalMutationsRepinTheIndexOnce) {
   EXPECT_EQ(Query("count(/descendant::w[xancestor::note])"), "0");
 }
 
-TEST_F(XQueryEngineTest, RecycledTemporarySlotsNeverServeStaleIndexEntries) {
+TEST_F(XQueryEngineTest, TemporariesNeverServeStaleIndexEntries) {
   Engine* engine = doc_->engine();
-  // Keep temporaries over "unawendendne", then force a repin (external
-  // mutation) so the snapshot indexes those temporary nodes.
+  // Keep temporaries over "unawendendne", then mutate the document
+  // directly so the base index rebuilds while they are alive. Overlay
+  // nodes must stay out of the rebuilt index (they are scanned, never
+  // indexed), yet remain visible on extended axes.
   auto kept = engine->EvaluateKeepingTemporaries(
       "analyze-string(/descendant::w[string(.) = 'unawendendne'],"
       " \".*un<a>a</a>we.*\")");
@@ -249,10 +278,10 @@ TEST_F(XQueryEngineTest, RecycledTemporarySlotsNeverServeStaleIndexEntries) {
   EXPECT_EQ(Query("count(/descendant::w[string(.) = 'unawendendne']"
                   "/xdescendant::a)"),
             "1");
-  // Free the kept slots, then let a fresh analyze-string over a different
-  // word recycle them. The old word's extended axes must see only the
-  // persistent <dmg> inside it — not the recycled nodes through stale
-  // index entries recorded at the old ranges.
+  // Drop the kept hierarchy, then run a fresh analyze-string over a
+  // different word. The old word's extended axes must see only the
+  // persistent <dmg> inside it — the dropped overlay's nodes are gone, and
+  // the new overlay's nodes sit at a different range.
   engine->CleanupTemporaries();
   EXPECT_EQ(
       Query("let $r := analyze-string(/descendant::w[string(.) = 'sceaft'],"
@@ -260,6 +289,26 @@ TEST_F(XQueryEngineTest, RecycledTemporarySlotsNeverServeStaleIndexEntries) {
             "count(/descendant::w[string(.) = 'unawendendne']"
             "/xdescendant::*)"),
       "1");
+}
+
+TEST(KeptTemporariesLifetimeTest, HandleMayOutliveTheEngine) {
+  KeptTemporaries handle;
+  {
+    auto doc = workload::BuildPaperDocument();
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    auto kept = doc->engine()->EvaluateKeepingTemporaries(
+        "analyze-string(/descendant::w[string(.) = 'unawendendne'],"
+        " \".*un<a>a</a>we.*\")");
+    ASSERT_TRUE(kept.ok()) << kept.status();
+    handle = std::move(kept->temporaries);
+    EXPECT_EQ(handle.hierarchy_count(), 1u);
+  }
+  // Document and engine are gone; the handle still owns the overlay (which
+  // shares the id allocator) and must release without touching freed
+  // engine state — ASan guards this path.
+  EXPECT_EQ(handle.hierarchy_count(), 1u);
+  handle.Release();
+  EXPECT_EQ(handle.hierarchy_count(), 0u);
 }
 
 TEST_F(XQueryEngineTest, QueryResultsAreStableAcrossRepeats) {

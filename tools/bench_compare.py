@@ -4,22 +4,29 @@
 
 Usage:
     tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.20]
-                           [--metric real_time]
+                           [--metric real_time] [--missing-baseline-ok]
 
 Compares benchmarks present in both files by name. A benchmark whose
 candidate time exceeds baseline * (1 + threshold) is a regression; the
 script prints a table of all common benchmarks and exits 1 if any
-regressed. Aggregate entries (BigO / RMS / mean / median / stddev rows)
-are skipped — their units differ and complexity fits are compared more
-meaningfully by eye.
+regressed. Benchmarks present in only one file (new or removed benches)
+are listed but never fail the comparison — a growing suite must not break
+its own perf gate. Aggregate entries (BigO / RMS / mean / median / stddev
+rows) are skipped — their units differ and complexity fits are compared
+more meaningfully by eye.
 
-CI uploads every smoke run's bench_<name>.json as a workflow artifact, so
-a perf trajectory can be replayed by downloading two runs' artifacts and
-diffing them with this tool.
+CI's Release lanes upload every run's bench_<name>.json as a workflow
+artifact and diff each new run against the previous run's artifact with
+this tool — the repo's cross-PR perf trajectory. --missing-baseline-ok
+makes a nonexistent baseline file a clean skip (exit 0) so the first run
+on a branch bootstraps the trajectory instead of failing it.
+
+Exit codes: 0 ok / nothing comparable, 1 regression(s), 2 usage error.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -43,6 +50,42 @@ def load_benchmarks(path, metric):
     return out
 
 
+def compare(baseline, candidate, threshold):
+    """Diffs two {name: (value, unit)} dicts.
+
+    Returns (report_lines, regressions) where regressions is a list of
+    (name, relative_delta) over the threshold. One-sided benchmarks are
+    reported but never regressions.
+    """
+    common = sorted(set(baseline) & set(candidate))
+    only_base = sorted(set(baseline) - set(candidate))
+    only_cand = sorted(set(candidate) - set(baseline))
+
+    lines = []
+    regressions = []
+    if common:
+        name_width = max(len(n) for n in common)
+        lines.append(f"{'benchmark':<{name_width}}  {'baseline':>12}  "
+                     f"{'candidate':>12}  {'delta':>8}")
+        for name in common:
+            base_value, unit = baseline[name]
+            cand_value, _ = candidate[name]
+            delta = ((cand_value - base_value) / base_value
+                     if base_value else 0.0)
+            flag = ""
+            if delta > threshold:
+                flag = "  REGRESSION"
+                regressions.append((name, delta))
+            lines.append(f"{name:<{name_width}}  {base_value:>10.0f}{unit:>2}"
+                         f"  {cand_value:>10.0f}{unit:>2}  "
+                         f"{delta:>+7.1%}{flag}")
+    for name in only_base:
+        lines.append(f"(removed — only in baseline)  {name}")
+    for name in only_cand:
+        lines.append(f"(new — only in candidate)     {name}")
+    return lines, regressions
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline benchmark JSON")
@@ -59,39 +102,37 @@ def main():
         choices=["real_time", "cpu_time"],
         help="which per-iteration time to compare (default real_time)",
     )
+    parser.add_argument(
+        "--missing-baseline-ok",
+        action="store_true",
+        help="exit 0 when the baseline file does not exist "
+             "(trajectory bootstrap)",
+    )
     args = parser.parse_args()
+
+    if args.missing_baseline_ok and not os.path.exists(args.baseline):
+        print(f"bench_compare: no baseline at {args.baseline}; "
+              "nothing to compare (bootstrap run)")
+        return 0
 
     baseline = load_benchmarks(args.baseline, args.metric)
     candidate = load_benchmarks(args.candidate, args.metric)
-    common = sorted(set(baseline) & set(candidate))
-    if not common:
-        print("bench_compare: no common benchmarks between "
-              f"{args.baseline} and {args.candidate}", file=sys.stderr)
+    if not baseline and not candidate:
+        print(f"bench_compare: neither {args.baseline} nor {args.candidate} "
+              "contains benchmark runs", file=sys.stderr)
         return 2
 
-    only_base = sorted(set(baseline) - set(candidate))
-    only_cand = sorted(set(candidate) - set(baseline))
+    lines, regressions = compare(baseline, candidate, args.threshold)
+    for line in lines:
+        print(line)
 
-    name_width = max(len(n) for n in common)
-    regressions = []
-    print(f"{'benchmark':<{name_width}}  {'baseline':>12}  "
-          f"{'candidate':>12}  {'delta':>8}")
-    for name in common:
-        base_value, unit = baseline[name]
-        cand_value, _ = candidate[name]
-        delta = (cand_value - base_value) / base_value if base_value else 0.0
-        flag = ""
-        if delta > args.threshold:
-            flag = "  REGRESSION"
-            regressions.append((name, delta))
-        print(f"{name:<{name_width}}  {base_value:>10.0f}{unit:>2}  "
-              f"{cand_value:>10.0f}{unit:>2}  {delta:>+7.1%}{flag}")
-
-    for name in only_base:
-        print(f"(only in baseline)  {name}")
-    for name in only_cand:
-        print(f"(only in candidate) {name}")
-
+    common_count = len(set(baseline) & set(candidate))
+    if not common_count:
+        # Disjoint suites (every bench renamed, or a brand-new driver):
+        # report, but do not fail — there is nothing to regress against.
+        print("\nno common benchmarks to compare "
+              f"({len(baseline)} baseline, {len(candidate)} candidate)")
+        return 0
     if regressions:
         print(f"\n{len(regressions)} regression(s) over "
               f"{args.threshold:.0%}:", file=sys.stderr)
@@ -99,7 +140,7 @@ def main():
             print(f"  {name}: {delta:+.1%}", file=sys.stderr)
         return 1
     print(f"\nno regressions over {args.threshold:.0%} "
-          f"({len(common)} benchmarks compared)")
+          f"({common_count} benchmarks compared)")
     return 0
 
 

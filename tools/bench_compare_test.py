@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+# Copyright (c) mhxq authors. Licensed under the MIT license.
+"""Self-test for tools/bench_compare.py.
+
+pytest-style test functions, plus a zero-dependency runner so CI can invoke
+it as plain `python3 tools/bench_compare_test.py` (pytest also collects the
+test_* functions if available).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SCRIPT = os.path.join(HERE, "bench_compare.py")
+
+sys.path.insert(0, HERE)
+from bench_compare import compare, load_benchmarks  # noqa: E402
+
+
+def bench_json(entries):
+    """Benchmark JSON with one iteration run per (name, real_time) pair."""
+    return {
+        "benchmarks": [
+            {"name": name, "run_type": "iteration", "real_time": value,
+             "cpu_time": value, "time_unit": "ns"}
+            for name, value in entries
+        ]
+        + [  # an aggregate row that must always be skipped
+            {"name": "BM_X_BigO", "run_type": "aggregate",
+             "aggregate_name": "BigO", "real_time": 1.0}
+        ]
+    }
+
+
+def write_json(directory, name, payload):
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f)
+    return path
+
+
+def run_script(*argv):
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, *argv],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def test_load_skips_aggregates():
+    with tempfile.TemporaryDirectory() as tmp:
+        path = write_json(tmp, "a.json", bench_json([("BM_A", 100.0)]))
+        loaded = load_benchmarks(path, "real_time")
+    assert set(loaded) == {"BM_A"}, loaded
+    assert loaded["BM_A"] == (100.0, "ns")
+
+
+def test_compare_flags_regressions_only_over_threshold():
+    baseline = {"BM_A": (100.0, "ns"), "BM_B": (100.0, "ns")}
+    candidate = {"BM_A": (115.0, "ns"), "BM_B": (130.0, "ns")}
+    _, regressions = compare(baseline, candidate, threshold=0.20)
+    assert [name for name, _ in regressions] == ["BM_B"], regressions
+
+
+def test_compare_reports_one_sided_benchmarks_without_failing():
+    baseline = {"BM_A": (100.0, "ns"), "BM_OLD": (50.0, "ns")}
+    candidate = {"BM_A": (100.0, "ns"), "BM_NEW": (70.0, "ns")}
+    lines, regressions = compare(baseline, candidate, threshold=0.20)
+    assert not regressions, regressions
+    assert any("BM_OLD" in line and "removed" in line for line in lines)
+    assert any("BM_NEW" in line and "new" in line for line in lines)
+
+
+def test_cli_exit_codes():
+    with tempfile.TemporaryDirectory() as tmp:
+        base = write_json(tmp, "base.json",
+                          bench_json([("BM_A", 100.0), ("BM_GONE", 10.0)]))
+        same = write_json(tmp, "same.json",
+                          bench_json([("BM_A", 100.0), ("BM_NEW", 10.0)]))
+        slow = write_json(tmp, "slow.json", bench_json([("BM_A", 200.0)]))
+        disjoint = write_json(tmp, "disjoint.json",
+                              bench_json([("BM_OTHER", 5.0)]))
+
+        code, out, _ = run_script(base, same)
+        assert code == 0, out
+        assert "BM_GONE" in out and "BM_NEW" in out
+
+        code, _, err = run_script(base, slow)
+        assert code == 1, err
+        assert "regression" in err
+
+        # Disjoint suites: reported, not a failure.
+        code, out, _ = run_script(base, disjoint)
+        assert code == 0, out
+        assert "no common benchmarks" in out
+
+
+def test_cli_missing_baseline_bootstrap():
+    with tempfile.TemporaryDirectory() as tmp:
+        cand = write_json(tmp, "cand.json", bench_json([("BM_A", 1.0)]))
+        missing = os.path.join(tmp, "nonexistent.json")
+        code, out, _ = run_script(missing, cand, "--missing-baseline-ok")
+        assert code == 0, out
+        assert "bootstrap" in out
+        # Without the flag a missing baseline is a hard error.
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, missing, cand],
+            capture_output=True, text=True, check=False)
+        assert proc.returncode != 0
+
+
+def main():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failures = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError as exc:
+            failures += 1
+            print(f"FAIL {name}: {exc}")
+    print(f"{len(tests) - failures}/{len(tests)} bench_compare self-tests "
+          "passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
