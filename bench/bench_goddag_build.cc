@@ -6,7 +6,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "document.h"
 #include "goddag/kygoddag.h"
+#include "goddag/overlay.h"
 #include "workload/generator.h"
 #include "workload/paper_data.h"
 #include "xml/parser.h"
@@ -141,6 +148,114 @@ void BM_LeafPartitionRebuild(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_LeafPartitionRebuild)->Arg(400)->Arg(1600)->Arg(6400)->Complexity();
+
+// --- E10 follow-up: OverlayView boundary splice, batched vs per-boundary --
+
+// A fixed 6400-word edition plus one overlay carrying `boundaries` fresh
+// cuts (arg 0): what an analyze-string() call with many matches queues on
+// the evaluation's view before its first leaf() step.
+struct SpliceFixture {
+  std::unique_ptr<mhx::MultihierarchicalDocument> doc;
+  std::shared_ptr<mhx::goddag::OverlayIdAllocator> ids;
+  std::shared_ptr<const mhx::goddag::GoddagOverlay> overlay;
+};
+
+SpliceFixture* MakeSpliceFixture(size_t boundaries) {
+  static auto* cache = new std::map<size_t, SpliceFixture*>();
+  auto it = cache->find(boundaries);
+  if (it != cache->end()) return it->second;
+  auto* fx = new SpliceFixture();
+  mhx::workload::EditionConfig config;
+  config.seed = 7;
+  config.word_count = 6400;
+  auto doc = mhx::workload::BuildEditionDocument(config);
+  if (!doc.ok()) std::abort();
+  fx->doc = std::make_unique<mhx::MultihierarchicalDocument>(
+      std::move(doc).value());
+  fx->doc->goddag().leaves();  // materialise, as the engine does
+  fx->ids = std::make_shared<mhx::goddag::OverlayIdAllocator>();
+  // boundaries/2 disjoint elements, each contributing two interior cuts at
+  // odd offsets (word cells are multi-character, so odd positions split).
+  const size_t n = fx->doc->base_text().size();
+  std::vector<mhx::goddag::VirtualElement> elements;
+  const size_t count = boundaries / 2;
+  const size_t stride = (n - 8) / (count + 1);
+  if (stride < 4) std::abort();
+  for (size_t i = 0; i < count; ++i) {
+    const size_t begin = (1 + (i + 1) * stride) | 1;
+    elements.push_back(
+        mhx::goddag::VirtualElement{"m", mhx::TextRange(begin, begin + 2),
+                                    {}});
+  }
+  auto overlay = mhx::goddag::GoddagOverlay::Create(
+      &fx->doc->goddag(), fx->ids, "m", std::move(elements));
+  if (!overlay.ok()) std::abort();
+  fx->overlay = *overlay;
+  (*cache)[boundaries] = fx;
+  return fx;
+}
+
+// The shipped path: OverlayView::leaves() drains all queued boundaries in
+// one batched sorted merge pass — O(partition + N).
+void BM_OverlaySplice_Batched(benchmark::State& state) {
+  SpliceFixture* fx = MakeSpliceFixture(state.range(0));
+  size_t cells = 0;
+  for (auto _ : state) {
+    mhx::goddag::OverlayView view(&fx->doc->goddag());
+    view.AddOverlay(fx->overlay);
+    cells = view.leaves().size();
+    benchmark::DoNotOptimize(cells);
+  }
+  state.counters["merged_cells"] = static_cast<double>(cells);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OverlaySplice_Batched)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Complexity();
+
+// The pre-batching algorithm, reproduced here as the ablation baseline:
+// one binary search + vector insert per boundary, O(partition) each —
+// O(partition * N) per drain. The batched path must beat this from ~64
+// boundaries up.
+void BM_OverlaySplice_PerBoundaryInsert(benchmark::State& state) {
+  SpliceFixture* fx = MakeSpliceFixture(state.range(0));
+  const auto& base_leaves = fx->doc->goddag().leaves();
+  const size_t n = fx->doc->base_text().size();
+  size_t cells = 0;
+  for (auto _ : state) {
+    std::vector<mhx::goddag::Leaf> merged = base_leaves;
+    const auto& overlay = *fx->overlay;
+    for (mhx::goddag::NodeId id = overlay.root(); id < overlay.id_end();
+         ++id) {
+      const mhx::TextRange& range = overlay.node(id).range;
+      for (size_t pos : {range.begin, range.end}) {
+        if (pos == 0 || pos >= n) continue;
+        auto it = std::upper_bound(
+            merged.begin(), merged.end(), pos,
+            [](size_t p, const mhx::goddag::Leaf& leaf) {
+              return p < leaf.range.end;
+            });
+        if (it == merged.end() || it->range.begin >= pos) continue;
+        const size_t leaf_end = it->range.end;
+        it->range.end = pos;
+        merged.insert(it + 1, mhx::goddag::Leaf{mhx::TextRange(pos, leaf_end)});
+      }
+    }
+    cells = merged.size();
+    benchmark::DoNotOptimize(cells);
+  }
+  state.counters["merged_cells"] = static_cast<double>(cells);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OverlaySplice_PerBoundaryInsert)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Complexity();
 
 }  // namespace
 

@@ -167,10 +167,14 @@ BENCHMARK(BM_PaperQueries_Parallel4);
 
 // --- The same query shapes on growing synthetic editions -------------------
 
-MultihierarchicalDocument* EditionDoc(size_t words) {
-  static std::map<size_t, MultihierarchicalDocument*>* cache =
-      new std::map<size_t, MultihierarchicalDocument*>();
-  auto it = cache->find(words);
+// Keyed by (words, threads): the engine's pool grows to the largest
+// `threads` it has seen, so sharing one engine across parallel lanes would
+// let a wide lane inflate a narrow one's real concurrency.
+MultihierarchicalDocument* EditionDoc(size_t words, unsigned threads = 1) {
+  static auto* cache =
+      new std::map<std::pair<size_t, unsigned>, MultihierarchicalDocument*>();
+  const auto key = std::make_pair(words, threads);
+  auto it = cache->find(key);
   if (it != cache->end()) return it->second;
   mhx::workload::EditionConfig config;
   config.seed = 99;
@@ -181,7 +185,7 @@ MultihierarchicalDocument* EditionDoc(size_t words) {
   auto d = mhx::workload::BuildEditionDocument(config);
   if (!d.ok()) std::abort();
   auto* doc = new MultihierarchicalDocument(std::move(d).value());
-  (*cache)[words] = doc;
+  (*cache)[key] = doc;
   return doc;
 }
 
@@ -207,8 +211,18 @@ return (
 }
 BENCHMARK(BM_ScenarioI2_Scaled)->Arg(100)->Arg(400)->Arg(1600)->Complexity();
 
+// The paper's hottest workload (query II.1 / E5-E7 shape) with an intra-
+// query threads axis (arg 1 = QueryOptions::threads; /1 is the serial
+// baseline). Worker slots evaluate the analyze-string bodies in private
+// sub-overlays with work-stealing balancing the regex-skewed iteration
+// costs — every parallel iteration is verified byte-identical to the
+// serial output of the same edition, and `index_rebuilds` must stay flat
+// at 1 no matter the width. Counters: `steals` (binding ranges stolen
+// between worker deques) next to `parallel_tasks` and `sorts_skipped`, all
+// engine-lifetime monotonic.
 void BM_ScenarioII_AnalyzeStringScaled(benchmark::State& state) {
-  MultihierarchicalDocument* doc = EditionDoc(state.range(0));
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  MultihierarchicalDocument* doc = EditionDoc(state.range(0), threads);
   const char* kQuery = R"(
 for $w in /descendant::w[matches(string(.), ".*ea.*")]
 return (
@@ -217,20 +231,46 @@ return (
     for $leaf in $r/descendant::leaf()
     return if ($leaf/xancestor::m) then <b>{$leaf}</b> else $leaf
   , <br/> ))";
+  mhx::QueryOptions options;
+  options.threads = threads;
+  // The serial reference is computed once per edition size (the benchmark
+  // function is entered several times per lane for iteration estimation;
+  // the workload is seeded, so every lane of one size expects one string).
+  const std::string& expected = [&]() -> const std::string& {
+    static auto* cache = new std::map<size_t, std::string>();
+    auto it = cache->find(state.range(0));
+    if (it == cache->end()) {
+      auto serial = doc->Query(kQuery);
+      VerifyOrAbort(serial.ok(), "scenario II scaled (serial reference)");
+      it = cache->emplace(state.range(0), *serial).first;
+    }
+    return it->second;
+  }();
   for (auto _ : state) {
-    auto out = doc->Query(kQuery);
-    VerifyOrAbort(out.ok(), "scenario II scaled");
+    auto out = doc->Query(kQuery, options);
+    VerifyOrAbort(out.ok() && *out == expected,
+                  "scenario II scaled (parallel == serial)");
     benchmark::DoNotOptimize(out);
   }
-  state.SetComplexityN(state.range(0));
+  VerifyOrAbort(doc->engine()->index_rebuild_count() == 1,
+                "index_rebuilds stayed flat (=1) under intra-query fan-out");
   state.counters["index_rebuilds"] =
       static_cast<double>(doc->engine()->index_rebuild_count());
+  state.counters["parallel_tasks"] =
+      static_cast<double>(doc->engine()->parallel_tasks());
+  state.counters["steals"] =
+      static_cast<double>(doc->engine()->steals());
+  state.counters["sorts_skipped"] =
+      static_cast<double>(doc->engine()->sorts_skipped());
 }
+// No ->Complexity(): a BigO fit over args mixing a threads axis into the
+// same N would blend serial and parallel timings into a meaningless curve.
 BENCHMARK(BM_ScenarioII_AnalyzeStringScaled)
-    ->Arg(100)
-    ->Arg(400)
-    ->Arg(1600)
-    ->Complexity();
+    ->Args({100, 1})
+    ->Args({400, 1})
+    ->Args({1600, 1})
+    ->Args({1600, 2})
+    ->Args({1600, 4});
 
 }  // namespace
 

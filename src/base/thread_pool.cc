@@ -21,6 +21,18 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+bool ThreadPool::RunPendingTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

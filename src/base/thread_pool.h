@@ -1,15 +1,19 @@
 // Copyright (c) mhxq authors. Licensed under the MIT license.
 //
 // A deliberately small fixed-size thread pool for query-level parallelism:
-// no work stealing, no priorities, no dynamic resizing — a locked FIFO queue
-// drained by `size()` workers. Submit returns a std::future, so values and
-// exceptions both propagate to the joining thread (std::packaged_task stores
-// a thrown exception in the shared state).
+// no priorities, no dynamic resizing — a locked FIFO queue drained by
+// `size()` workers. Submit returns a std::future, so values and exceptions
+// both propagate to the joining thread (std::packaged_task stores a thrown
+// exception in the shared state).
 //
-// Sizing note for callers that block on futures: tasks must never Submit and
-// then wait on the same pool — a worker blocked on a task queued behind it
-// deadlocks. The XQuery engine obeys this by fanning out only from the
-// coordinating (non-pool) thread; see Evaluator::parallel_worker_.
+// Sizing note for callers that block on futures: a task must never Submit
+// and then passively wait on the same pool — a worker blocked on a task
+// queued behind it deadlocks. Callers that need to join work they fanned
+// out have two safe shapes: wait only for tasks that are already *running*
+// (the XQuery engine's binding scheduler waits for claimed bindings, never
+// for queued helper tasks — unstarted helpers find no work and return), and
+// call RunPendingTask() while waiting so the blocked thread drains the
+// queue instead of sleeping on it.
 
 #ifndef MHX_BASE_THREAD_POOL_H_
 #define MHX_BASE_THREAD_POOL_H_
@@ -57,6 +61,12 @@ class ThreadPool {
     cv_.notify_one();
     return future;
   }
+
+  // Pops one queued task, if any, and runs it on the calling thread.
+  // Returns false when the queue was empty. Safe from any thread,
+  // including pool workers; lets a thread that must wait for fanned-out
+  // work make progress on the backlog instead of blocking behind it.
+  bool RunPendingTask();
 
  private:
   void WorkerLoop();

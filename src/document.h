@@ -99,8 +99,11 @@ class MultihierarchicalDocument {
   StatusOr<std::string> Query(std::string_view query) const;
 
   // As above, with per-query options — QueryOptions{.threads = 4} fans
-  // independent FLWOR iterations out across a thread pool, with results
-  // byte-identical to the serial evaluation.
+  // independent FLWOR iterations and quantifier bindings out across a
+  // work-stealing thread pool, analyze-string() bodies included (workers
+  // materialise temporaries in private sub-overlays merged at join), with
+  // results byte-identical to the serial evaluation (see the engine.h
+  // contract for the two narrow caveats).
   StatusOr<std::string> Query(std::string_view query,
                               const QueryOptions& options) const;
 

@@ -102,56 +102,93 @@ void OverlayView::AddOverlay(std::shared_ptr<const GoddagOverlay> overlay) {
 }
 
 const std::vector<Leaf>& OverlayView::leaves() const {
-  if (!has_overlays()) return base_->leaves();
+  if (!has_overlays()) return inherited_leaves();
   // Workers sharing the view may race the first materialisation; in the
   // steady state this is an empty-queue check under an uncontended mutex.
   // AddOverlay (owner only, never concurrent with readers) just queues.
   std::lock_guard<std::mutex> lock(leaves_mu_);
   if (!merged_init_) {
-    merged_leaves_ = base_->leaves();
+    merged_leaves_ = inherited_leaves();
     merged_init_ = true;
   }
-  // Drain incrementally: boundaries only accumulate within a view, so each
-  // overlay is spliced exactly once no matter how AddOverlay calls
-  // interleave with leaf() steps — never a from-scratch rebuild. (Each
-  // root's 0/n boundaries are partition edges already, so splicing them
-  // no-ops.)
-  for (const auto& overlay : unspliced_) {
-    for (NodeId id = overlay->root(); id < overlay->id_end(); ++id) {
-      const TextRange& range = overlay->node(id).range;
-      SpliceBoundary(range.begin);
-      SpliceBoundary(range.end);
-    }
-  }
-  unspliced_.clear();
+  if (!unspliced_.empty()) SpliceQueuedBoundaries();
   return merged_leaves_;
 }
 
-void OverlayView::SpliceBoundary(size_t pos) const {
-  if (pos == 0 || pos >= base_->base_text().size()) return;
-  // The partition tiles [0, n), so exactly one cell has end > pos; split it
-  // unless pos is already one of its edges.
-  auto it = std::upper_bound(merged_leaves_.begin(), merged_leaves_.end(),
-                             pos, [](size_t p, const Leaf& leaf) {
-                               return p < leaf.range.end;
-                             });
-  if (it == merged_leaves_.end() || it->range.begin >= pos) return;
-  const size_t leaf_end = it->range.end;
-  it->range.end = pos;
-  merged_leaves_.insert(it + 1, Leaf{TextRange(pos, leaf_end)});
+void OverlayView::SpliceQueuedBoundaries() const {
+  // Boundaries only accumulate within a view, so each overlay is spliced
+  // exactly once no matter how AddOverlay calls interleave with leaf()
+  // steps. The drain is batched: collect every queued boundary, sort once,
+  // then rewrite the partition in a single merge pass — O(partition + N)
+  // for N boundaries where the former per-boundary vector insert paid
+  // O(partition) each. (Each root's 0/n boundaries are partition edges
+  // already, so they are filtered with the other no-op cuts below.)
+  const size_t text_size = base_->base_text().size();
+  std::vector<size_t> cuts;
+  for (const auto& overlay : unspliced_) {
+    cuts.reserve(cuts.size() + 2 * overlay->node_count());
+    for (NodeId id = overlay->root(); id < overlay->id_end(); ++id) {
+      const TextRange& range = overlay->node(id).range;
+      if (range.begin > 0 && range.begin < text_size) {
+        cuts.push_back(range.begin);
+      }
+      if (range.end > 0 && range.end < text_size) cuts.push_back(range.end);
+    }
+  }
+  unspliced_.clear();
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  if (cuts.empty()) return;
+
+  // Rewrite the partition around the cuts: unaffected cell runs between
+  // consecutive cuts bulk-copy (memmove fast path), only the cells a cut
+  // actually splits are rebuilt piecewise — O(N log P) search plus one
+  // O(P + N) copy, where the old per-boundary path paid an O(P) vector
+  // insert for every boundary.
+  std::vector<Leaf> merged;
+  merged.reserve(merged_leaves_.size() + cuts.size());
+  auto rest = merged_leaves_.cbegin();  // first cell not yet emitted
+  for (auto cut = cuts.cbegin(); cut != cuts.cend();) {
+    // The cell containing this cut: the first with end > cut, at or after
+    // `rest` (cuts ascend, so the search window only narrows).
+    auto cell = std::upper_bound(rest, merged_leaves_.cend(), *cut,
+                                 [](size_t pos, const Leaf& leaf) {
+                                   return pos < leaf.range.end;
+                                 });
+    merged.insert(merged.end(), rest, cell);
+    rest = cell;
+    if (cell == merged_leaves_.cend()) break;
+    if (cell->range.begin >= *cut) {
+      ++cut;  // an existing boundary — no-op
+      continue;
+    }
+    // Split this cell at every cut inside it.
+    size_t begin = cell->range.begin;
+    for (; cut != cuts.cend() && *cut < cell->range.end; ++cut) {
+      merged.push_back(Leaf{TextRange(begin, *cut)});
+      begin = *cut;
+    }
+    merged.push_back(Leaf{TextRange(begin, cell->range.end)});
+    rest = cell + 1;
+  }
+  merged.insert(merged.end(), rest, merged_leaves_.cend());
+  merged_leaves_ = std::move(merged);
 }
 
 const GoddagOverlay* OverlayView::overlay_of(NodeId id) const {
   // The overlay whose id_begin is the last <= id; blocks are disjoint, so
-  // either it contains the id or nothing does.
+  // either it contains the id or nothing does. Ids not registered here may
+  // belong to the view this one was forked from.
   auto it = std::upper_bound(
       overlays_.begin(), overlays_.end(), id,
       [](NodeId value, const std::shared_ptr<const GoddagOverlay>& o) {
         return value < o->id_begin();
       });
-  if (it == overlays_.begin()) return nullptr;
-  const GoddagOverlay* overlay = (it - 1)->get();
-  return overlay->Contains(id) ? overlay : nullptr;
+  if (it != overlays_.begin()) {
+    const GoddagOverlay* overlay = (it - 1)->get();
+    if (overlay->Contains(id)) return overlay;
+  }
+  return parent_ != nullptr ? parent_->overlay_of(id) : nullptr;
 }
 
 std::string OverlayView::NodeString(NodeId id) const {

@@ -132,13 +132,34 @@ class GoddagOverlay {
 // EvaluateKeepingTemporaries calls, then the evaluation's own). Node
 // resolution, node-to-string, and the leaf partition all go through here.
 //
+// Views form a fork tree: a parallel worker forks a child view off the
+// coordinator's view and registers its own overlays there, so
+// analyze-string() inside a fanned-out binding body writes worker-private
+// state only. A child resolves ids it does not own — and reads the leaf
+// partition it re-splits — through its parent, so the coordinator's
+// overlays stay visible without being copied. At join the engine re-adds
+// the workers' overlays to the coordinator's view in binding order.
+//
 // Not thread-safe for mutation: AddOverlay may only be called by the
-// evaluation that owns the view, never concurrently with readers (the
-// engine's parallel workers only read, and analyze-string() never runs on a
-// worker). Reads are const and safe to share across worker threads.
+// evaluation (or worker) that owns the view, never concurrently with its
+// readers. A parent view must be frozen — no AddOverlay — while forked
+// children exist; the engine guarantees this because the forking evaluator
+// blocks in the join for as long as its workers run. Reads are const and
+// safe to share across threads (the lazily merged leaf partition is
+// mutex-guarded).
 class OverlayView {
  public:
   explicit OverlayView(const KyGoddag* base) : base_(base) {}
+
+  // Forks a worker-private child view: ids the child does not own resolve
+  // through `parent` (recursively up the fork tree), and the child's leaf
+  // partition starts from the parent's merged partition. `parent` must
+  // outlive the child and stay frozen while the child exists.
+  explicit OverlayView(const OverlayView* parent)
+      : base_(parent->base_), parent_(parent) {}
+
+  // The parent this view was forked from, or nullptr for a root view.
+  const OverlayView* parent() const { return parent_; }
 
   const KyGoddag& base() const { return *base_; }
   const std::string& base_text() const { return base_->base_text(); }
@@ -146,18 +167,24 @@ class OverlayView {
 
   // Registers an overlay (kept sorted by id_begin for binary-search
   // resolution) and queues it for the merged leaf partition, which is
-  // spliced lazily — and incrementally, one pass per overlay — by the next
-  // leaves() call. Evaluations that never run a leaf() step pay nothing
-  // for their overlays. Requires the base leaf partition to be
-  // materialised (the engine does this before evaluation starts).
+  // spliced lazily by the next leaves() call: all queued overlays'
+  // boundaries are folded in one batched sorted pass (O(partition + N) for
+  // N boundaries, not O(partition * N) per-boundary inserts). Evaluations
+  // that never run a leaf() step pay nothing for their overlays. Requires
+  // the base leaf partition to be materialised (the engine does this
+  // before evaluation starts).
   void AddOverlay(std::shared_ptr<const GoddagOverlay> overlay);
 
+  // Overlays registered on THIS view — a forked child's parents hold
+  // theirs; readers that must see every overlay visible to the view (the
+  // axis layer's overlay scans) walk the parent() chain.
   bool has_overlays() const { return !overlays_.empty(); }
   const std::vector<std::shared_ptr<const GoddagOverlay>>& overlays() const {
     return overlays_;
   }
 
-  // The overlay owning `id`, or nullptr. `id` must be an overlay id.
+  // The overlay owning `id` — searched here, then up the parent chain —
+  // or nullptr. `id` must be an overlay id.
   const GoddagOverlay* overlay_of(NodeId id) const;
 
   // Resolves any node id — base ids against the base document, overlay ids
@@ -170,26 +197,35 @@ class OverlayView {
   // Base-text content dominated by a node (any namespace).
   std::string NodeString(NodeId id) const;
 
-  // The leaf partition this evaluation sees: the base partition re-split at
-  // every overlay element boundary, in text order. Without overlays this is
-  // the base partition itself, no copy; with overlays the merged partition
+  // The leaf partition this evaluation sees: the parent partition (or, for
+  // a root view, the base partition) re-split at every own-overlay element
+  // boundary, in text order. Without own overlays this is the parent/base
+  // partition itself, no copy; with overlays the merged partition
   // materialises on first use (mutex-guarded: parallel workers sharing the
   // view may race the first call, and leaf() steps are parallel-safe).
   const std::vector<Leaf>& leaves() const;
 
  private:
-  void SpliceBoundary(size_t pos) const;
+  // The partition this view's own splices start from: the parent's merged
+  // partition for forked views, the base partition otherwise.
+  const std::vector<Leaf>& inherited_leaves() const {
+    return parent_ != nullptr ? parent_->leaves() : base_->leaves();
+  }
+  // Folds every queued overlay's boundaries into merged_leaves_ in one
+  // sorted pass. Caller holds leaves_mu_.
+  void SpliceQueuedBoundaries() const;
 
   const KyGoddag* base_;
+  const OverlayView* parent_ = nullptr;
   // Sorted by id_begin (allocator blocks are disjoint, so this is a total
   // order).
   std::vector<std::shared_ptr<const GoddagOverlay>> overlays_;
   // Lazily merged partition cache; guarded by leaves_mu_ (AddOverlay needs
   // no guard — only the owning evaluation mutates the view, never while
   // workers read it). unspliced_ holds overlays queued by AddOverlay and
-  // not yet folded into merged_leaves_; draining it is incremental, so a
-  // query interleaving analyze-string() with leaf() steps pays one splice
-  // pass per overlay, not a quadratic rebuild.
+  // not yet folded into merged_leaves_; draining is batched, so a query
+  // interleaving analyze-string() with leaf() steps pays one linear merge
+  // pass per drain no matter how many boundaries queued up.
   mutable std::mutex leaves_mu_;
   mutable bool merged_init_ = false;
   mutable std::vector<Leaf> merged_leaves_;

@@ -218,14 +218,21 @@ void AxisEvaluator::AppendOverlayMatches(const goddag::OverlayView& view,
                                          const TextRange& context_range,
                                          NodeId exclude,
                                          std::vector<NodeId>* out) const {
-  for (const auto& overlay : view.overlays()) {
-    // The auto-created whole-text root is plumbing, not a result: start at
-    // elements_begin() so it never shows up as an xancestor of everything.
-    for (NodeId id = overlay->elements_begin(); id < overlay->id_end();
-         ++id) {
-      if (id == exclude) continue;
-      if (ExtendedAxisMatches(axis, context_range, overlay->node(id).range)) {
-        out->push_back(id);
+  // A forked worker view holds only the overlays its own evaluation
+  // created; everything else visible to it (kept hierarchies, the
+  // coordinator's overlays) lives up the parent chain.
+  for (const goddag::OverlayView* v = &view; v != nullptr; v = v->parent()) {
+    for (const auto& overlay : v->overlays()) {
+      // The auto-created whole-text root is plumbing, not a result: start
+      // at elements_begin() so it never shows up as an xancestor of
+      // everything.
+      for (NodeId id = overlay->elements_begin(); id < overlay->id_end();
+           ++id) {
+        if (id == exclude) continue;
+        if (ExtendedAxisMatches(axis, context_range,
+                                overlay->node(id).range)) {
+          out->push_back(id);
+        }
       }
     }
   }

@@ -20,10 +20,13 @@
 // evaluates against an evaluation's overlay namespace as well as the base
 // document. Extended axes then read uniformly as "base index (or naive base
 // scan) + overlay scan" — overlay nodes are never indexed, their delta is
-// tiny — and standard axes resolve parent/child arcs through the view. The
-// base RangeIndex snapshot is revision-checked against the base KyGoddag
-// only: overlay churn never invalidates it, which is what keeps
-// analyze-string() cycles rebuild-free (index_rebuild_count()).
+// tiny — and standard axes resolve parent/child arcs through the view.
+// Views fork (goddag/overlay.h): a parallel worker's private view chains to
+// the coordinator's, and both the overlay scan here and the view's own id
+// resolution walk that chain. The base RangeIndex snapshot is
+// revision-checked against the base KyGoddag only: overlay churn never
+// invalidates it, which is what keeps analyze-string() cycles rebuild-free
+// (index_rebuild_count()).
 
 #ifndef MHX_XPATH_AXES_H_
 #define MHX_XPATH_AXES_H_
@@ -193,7 +196,9 @@ class AxisEvaluator {
                                std::vector<goddag::NodeId>* out) const;
   // The overlay half of every extended-axis evaluation: a linear scan of
   // the view's overlay elements (plumbing roots excluded) against the
-  // Definition-1 predicate.
+  // Definition-1 predicate. Walks the view's fork chain, so a worker's
+  // private view scans the coordinator's overlays and the kept
+  // hierarchies as well as its own.
   void AppendOverlayMatches(const goddag::OverlayView& view, Axis axis,
                             const TextRange& context_range,
                             goddag::NodeId exclude,

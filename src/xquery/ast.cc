@@ -156,41 +156,78 @@ std::string DebugString(const AstNode& node) {
   return out;
 }
 
-bool IsParallelSafe(const AstNode& node) {
-  if (node.kind == ExprKind::kFunctionCall) {
-    static constexpr std::string_view kPureFunctions[] = {
-        "string", "string-length", "count", "name",
-        "not",    "true",          "false", "matches"};
-    bool pure = false;
-    for (std::string_view name : kPureFunctions) {
-      if (node.name == name) {
-        pure = true;
-        break;
-      }
-    }
-    // analyze-string() (temporary hierarchies) and anything unrecognised.
-    if (!pure) return false;
+const std::vector<BuiltinFunction>& BuiltinFunctions() {
+  // Pure value functions are trivially safe. analyze-string() is safe
+  // because a parallel worker materialises its temporary hierarchies in a
+  // private sub-overlay namespace (merged at join) — it shares only the
+  // mutex-guarded compiled-pattern cache and the overlay id allocator.
+  static const std::vector<BuiltinFunction>* const kTable =
+      new std::vector<BuiltinFunction>{
+          {"string", true},  {"string-length", true},
+          {"count", true},   {"name", true},
+          {"not", true},     {"true", true},
+          {"false", true},   {"matches", true},
+          {"analyze-string", true},
+      };
+  return *kTable;
+}
+
+const BuiltinFunction* FindBuiltin(std::string_view name) {
+  for (const BuiltinFunction& fn : BuiltinFunctions()) {
+    if (fn.name == name) return &fn;
   }
-  for (const auto& child : node.children) {
-    if (!IsParallelSafe(*child)) return false;
-  }
+  return nullptr;
+}
+
+void VisitSubExprs(const AstNode& node,
+                   const std::function<void(const AstNode&)>& fn) {
+  for (const auto& child : node.children) fn(*child);
   for (const PathStep& step : node.steps) {
-    if (step.primary != nullptr && !IsParallelSafe(*step.primary)) {
-      return false;
-    }
-    for (const auto& predicate : step.predicates) {
-      if (!IsParallelSafe(*predicate)) return false;
-    }
+    if (step.primary != nullptr) fn(*step.primary);
+    for (const auto& predicate : step.predicates) fn(*predicate);
   }
   for (const ConstructorAttribute& attribute : node.attributes) {
     for (const ConstructorPart& part : attribute.parts) {
-      if (part.expr != nullptr && !IsParallelSafe(*part.expr)) return false;
+      if (part.expr != nullptr) fn(*part.expr);
     }
   }
   for (const ConstructorPart& part : node.content) {
-    if (part.expr != nullptr && !IsParallelSafe(*part.expr)) return false;
+    if (part.expr != nullptr) fn(*part.expr);
   }
-  return true;
+}
+
+void VisitSubExprs(AstNode& node, const std::function<void(AstNode&)>& fn) {
+  VisitSubExprs(static_cast<const AstNode&>(node),
+                [&fn](const AstNode& child) {
+                  fn(const_cast<AstNode&>(child));
+                });
+}
+
+// Both classifications run once per query at parse time (ParseQuery stamps
+// loop nodes), so neither bothers to short-circuit the traversal.
+
+bool ContainsAnalyzeString(const AstNode& node) {
+  if (node.kind == ExprKind::kFunctionCall && node.name == "analyze-string") {
+    return true;
+  }
+  bool found = false;
+  VisitSubExprs(node, [&found](const AstNode& child) {
+    found = found || ContainsAnalyzeString(child);
+  });
+  return found;
+}
+
+bool IsParallelSafe(const AstNode& node) {
+  if (node.kind == ExprKind::kFunctionCall) {
+    // Unknown names are conservatively unsafe.
+    const BuiltinFunction* builtin = FindBuiltin(node.name);
+    if (builtin == nullptr || !builtin->parallel_safe) return false;
+  }
+  bool safe = true;
+  VisitSubExprs(node, [&safe](const AstNode& child) {
+    safe = safe && IsParallelSafe(child);
+  });
+  return safe;
 }
 
 std::string_view CompareOpName(CompareOp op) {

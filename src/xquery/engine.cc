@@ -3,6 +3,7 @@
 #include "xquery/engine.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <exception>
 #include <future>
 #include <limits>
@@ -32,6 +33,108 @@ Status EvalErrorAt(size_t offset, const std::string& what) {
   return InvalidArgumentError("XQuery evaluation error at offset " +
                               std::to_string(offset) + ": " + what);
 }
+
+// Work-stealing distributor of one parallel loop's binding indices. Slot s
+// starts owning a contiguous range; an owner pops its own front, and a slot
+// whose deque drained steals the back half of the first non-empty victim's
+// remainder — so skewed per-binding costs (regex-heavy analyze-string
+// bodies) cannot leave slots idle behind a few hot bindings. Every index is
+// claimed exactly once; AllDone flips only after every claimed index was
+// marked done, which is the join condition: a coordinator waits for
+// *claimed* work only, never for queued helper tasks (a helper that starts
+// after the loop drained claims nothing and returns).
+class BindingScheduler {
+ public:
+  BindingScheduler(size_t bindings, size_t slots)
+      : slots_(std::max<size_t>(slots, 1)),
+        ranges_(new Range[slots_]),
+        unfinished_(bindings) {
+    const size_t per = bindings / slots_;
+    const size_t extra = bindings % slots_;
+    size_t begin = 0;
+    for (size_t s = 0; s < slots_; ++s) {
+      const size_t count = per + (s < extra ? 1 : 0);
+      ranges_[s].next = begin;
+      ranges_[s].end = begin + count;
+      begin += count;
+    }
+  }
+
+  // Claims one binding index for `slot`; *stolen reports that the claim
+  // came out of a victim's deque. Returns false when no deque holds
+  // claimable work (work a victim is installing concurrently is claimed by
+  // that victim's own loop, never lost).
+  bool Claim(size_t slot, size_t* index, bool* stolen) {
+    *stolen = false;
+    Range& own = ranges_[slot];
+    {
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (own.next < own.end) {
+        *index = own.next++;
+        return true;
+      }
+    }
+    for (size_t k = 1; k < slots_; ++k) {
+      Range& victim = ranges_[(slot + k) % slots_];
+      size_t begin = 0;
+      size_t end = 0;
+      {
+        std::lock_guard<std::mutex> lock(victim.mu);
+        if (victim.next < victim.end) {
+          const size_t take = (victim.end - victim.next + 1) / 2;
+          begin = victim.end - take;
+          end = victim.end;
+          victim.end = begin;
+        }
+      }
+      if (begin < end) {
+        *stolen = true;
+        // Install the stolen range as this slot's new deque (it was empty;
+        // only the owning thread installs, so no other write can race) and
+        // claim its first index.
+        std::lock_guard<std::mutex> lock(own.mu);
+        own.next = begin + 1;
+        own.end = end;
+        *index = begin;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Marks one claimed binding finished (evaluated or skipped).
+  void MarkDone() {
+    if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+
+  bool AllDone() const {
+    return unfinished_.load(std::memory_order_acquire) == 0;
+  }
+
+  // Blocks until every binding is done. The acquire load in AllDone pairs
+  // with the release decrement in MarkDone, so every slot's binding
+  // results are visible to the joining thread.
+  void WaitAllDone() {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [this] { return AllDone(); });
+  }
+
+ private:
+  struct Range {
+    std::mutex mu;
+    size_t next = 0;
+    size_t end = 0;
+  };
+
+  const size_t slots_;
+  std::unique_ptr<Range[]> ranges_;
+  std::atomic<size_t> unfinished_;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+};
 
 }  // namespace
 
@@ -96,39 +199,27 @@ class Evaluator {
   };
   using Sequence = std::vector<Item>;
 
-  // The coordinating evaluator. `own` collects the overlays this evaluation
-  // materialises (analyze-string()); it registers them in `view` as it
-  // goes, so later steps of the same evaluation see them.
+  // An evaluator over one overlay view. The coordinating evaluator of an
+  // evaluation gets the evaluation's root view; a parallel worker slot
+  // gets a snapshot of the coordinator's binding stack and a fresh view
+  // forked off the coordinator's per binding (RunLoopSlot re-points
+  // view_). Either way `own` collects the overlays this evaluator
+  // materialises (analyze-string()); they are registered in `view` as
+  // created, so later steps of the same binding see them — worker-created
+  // overlays additionally merge into the coordinator's view at the loop
+  // join, in binding order.
   Evaluator(Engine* engine, const xpath::AxisEvaluator* axes,
             const QueryOptions* options, base::ThreadPool* pool,
             goddag::OverlayView* view,
-            std::vector<std::shared_ptr<const goddag::GoddagOverlay>>* own)
+            std::vector<std::shared_ptr<const goddag::GoddagOverlay>>* own,
+            std::vector<std::pair<std::string, Sequence>> bindings = {})
       : engine_(engine),
         view_(view),
-        mutable_view_(view),
         own_(own),
         axes_(*axes),
         options_(options),
-        pool_(pool) {}
-
-  // A worker evaluator for one parallel FLWOR iteration: same engine,
-  // options, and (read-only) overlay view, a snapshot of the parent's
-  // binding stack, and no further fan-out (a pool task blocking on tasks
-  // queued behind it would deadlock the fixed-size pool). Workers never
-  // evaluate analyze-string() — IsParallelSafe gates fan-out — so the
-  // shared view is never mutated while they read it.
-  Evaluator(Engine* engine, const xpath::AxisEvaluator* axes,
-            const QueryOptions* options, const goddag::OverlayView* view,
-            std::vector<std::pair<std::string, Sequence>> bindings)
-      : engine_(engine),
-        view_(view),
-        mutable_view_(nullptr),
-        own_(nullptr),
-        axes_(*axes),
-        options_(options),
-        pool_(nullptr) {
+        pool_(pool) {
     bindings_ = std::move(bindings);
-    parallel_worker_ = true;
   }
 
   StatusOr<Sequence> Evaluate(const AstNode& root) {
@@ -209,17 +300,18 @@ class Evaluator {
       }
       case ExprKind::kFor: {
         MHX_ASSIGN_OR_RETURN(Sequence seq, Eval(*node.children[0], context));
-        if (ShouldParallelize(*node.children[1], seq)) {
-          return EvalForParallel(node, context, std::move(seq));
+        if (ShouldParallelize(node, seq)) {
+          return EvalLoopParallel(node, context, std::move(seq));
         }
+        std::vector<std::shared_ptr<const goddag::GoddagOverlay>> pending;
         Sequence out;
         for (Item& item : seq) {
-          bindings_.emplace_back(node.name, Sequence{std::move(item)});
-          auto body = Eval(*node.children[1], context);
-          bindings_.pop_back();
-          if (!body.ok()) return body.status();
-          std::move(body->begin(), body->end(), std::back_inserter(out));
+          MHX_ASSIGN_OR_RETURN(
+              Sequence body,
+              EvalSerialBinding(node, context, std::move(item), &pending));
+          std::move(body.begin(), body.end(), std::back_inserter(out));
         }
+        MergePendingOverlays(std::move(pending));
         return out;
       }
       case ExprKind::kLet: {
@@ -231,20 +323,24 @@ class Evaluator {
       }
       case ExprKind::kQuantified: {
         MHX_ASSIGN_OR_RETURN(Sequence seq, Eval(*node.children[0], context));
-        if (ShouldParallelize(*node.children[1], seq)) {
-          return EvalQuantifiedParallel(node, context, std::move(seq));
+        if (ShouldParallelize(node, seq)) {
+          return EvalLoopParallel(node, context, std::move(seq));
         }
+        std::vector<std::shared_ptr<const goddag::GoddagOverlay>> pending;
         for (Item& item : seq) {
-          bindings_.emplace_back(node.name, Sequence{std::move(item)});
-          auto body = Eval(*node.children[1], context);
-          bindings_.pop_back();
-          if (!body.ok()) return body.status();
+          MHX_ASSIGN_OR_RETURN(
+              Sequence body,
+              EvalSerialBinding(node, context, std::move(item), &pending));
           MHX_ASSIGN_OR_RETURN(bool value,
-                               BooleanValue(*body, node.children[1]->offset));
+                               BooleanValue(body, node.children[1]->offset));
           if (value != node.every) {
+            // The decider's own overlays are committed (serial evaluated
+            // it fully); bindings past it were never evaluated.
+            MergePendingOverlays(std::move(pending));
             return Sequence{Item::Boolean(!node.every)};
           }
         }
+        MergePendingOverlays(std::move(pending));
         return Sequence{Item::Boolean(node.every)};
       }
       case ExprKind::kIf: {
@@ -294,181 +390,319 @@ class Evaluator {
     return EvalErrorAt(node.offset, "unhandled expression kind");
   }
 
+  // Evaluates one serial loop binding in an isolated child view: while the
+  // scope lives, this evaluator's view_/own_ point at a fresh fork, so
+  // temporaries the binding materialises stay invisible to sibling
+  // bindings — exactly the scoping a parallel worker slot gets. After a
+  // successful evaluation, CommitTo() hands the binding's overlays to the
+  // loop's pending list; the loop merges the whole list into the
+  // enclosing view only at loop exit (MergePendingOverlays), matching the
+  // parallel join — merging per binding would re-expose earlier bindings'
+  // temporaries to later ones through the fork chain. Destruction
+  // restores the pointers either way, dropping uncommitted overlays.
+  class BindingScope {
+   public:
+    explicit BindingScope(Evaluator* evaluator)
+        : evaluator_(evaluator),
+          child_(evaluator->view_),
+          saved_view_(evaluator->view_),
+          saved_own_(evaluator->own_) {
+      evaluator_->view_ = &child_;
+      evaluator_->own_ = &own_;
+    }
+    ~BindingScope() {
+      evaluator_->view_ = saved_view_;
+      evaluator_->own_ = saved_own_;
+    }
+
+    void CommitTo(
+        std::vector<std::shared_ptr<const goddag::GoddagOverlay>>* pending) {
+      std::move(own_.begin(), own_.end(), std::back_inserter(*pending));
+      own_.clear();
+    }
+
+   private:
+    Evaluator* evaluator_;
+    goddag::OverlayView child_;
+    std::vector<std::shared_ptr<const goddag::GoddagOverlay>> own_;
+    goddag::OverlayView* saved_view_;
+    std::vector<std::shared_ptr<const goddag::GoddagOverlay>>* saved_own_;
+  };
+
+  // Registers a finished loop's binding overlays (already in binding
+  // order) on this evaluator's view and overlay list.
+  void MergePendingOverlays(
+      std::vector<std::shared_ptr<const goddag::GoddagOverlay>> pending) {
+    for (auto& overlay : pending) {
+      own_->push_back(overlay);
+      view_->AddOverlay(std::move(overlay));
+    }
+  }
+
+  // One serial loop binding, shared by kFor and kQuantified: bind, evaluate
+  // the body — in an isolated child view when it can materialise
+  // temporaries (overlays land in `pending` for the loop-exit merge; see
+  // BindingScope) — and unbind.
+  StatusOr<Sequence> EvalSerialBinding(
+      const AstNode& node, const Item* context, Item item,
+      std::vector<std::shared_ptr<const goddag::GoddagOverlay>>* pending) {
+    bindings_.emplace_back(node.name, Sequence{std::move(item)});
+    StatusOr<Sequence> body = Sequence{};
+    if (node.body_contains_analyze_string) {
+      BindingScope scope(this);
+      body = Eval(*node.children[1], context);
+      if (body.ok()) scope.CommitTo(pending);
+    } else {
+      body = Eval(*node.children[1], context);
+    }
+    bindings_.pop_back();
+    return body;
+  }
+
   // --- parallel FLWOR / quantifier fan-out ---------------------------------
 
-  // Fan out only from the coordinating evaluator (workers never nest — see
-  // the worker constructor), only when a pool exists, only when there is
-  // real fan-out to gain (2+ bindings), and only when the body provably
-  // cannot mutate shared document state.
-  bool ShouldParallelize(const AstNode& body, const Sequence& seq) const {
-    return pool_ != nullptr && !parallel_worker_ && options_->threads > 1 &&
-           seq.size() > 1 && IsParallelSafe(body);
+  // Fan out whenever a pool exists, there are enough bindings to amortise
+  // the loop's fixed cost (shared state, helper submission, per-slot view
+  // fork and binding-stack snapshot — tiny inner loops of two or three
+  // bindings are cheaper run inline), and the body provably cannot touch
+  // state shared mutably across workers. Workers fan nested `for` loops
+  // out again through the same scheduler — the join below waits only for
+  // claimed bindings, so nesting cannot deadlock the fixed-size pool.
+  static constexpr size_t kMinParallelBindings = 4;
+  bool ShouldParallelize(const AstNode& loop, const Sequence& seq) const {
+    return pool_ != nullptr && options_->threads > 1 &&
+           seq.size() >= kMinParallelBindings && loop.body_parallel_safe;
   }
 
-  // Carves the binding sequence into contiguous chunks, one pool task each.
-  // Chunking keeps per-task overhead (allocation, future, queue traffic)
-  // amortised over many bindings while mild oversubscription (4 chunks per
-  // worker) still balances uneven iteration costs.
-  std::vector<Sequence> ChunkBindings(Sequence seq) const {
-    const size_t target = static_cast<size_t>(options_->threads) * 4;
-    const size_t chunk_size =
-        std::max<size_t>(1, (seq.size() + target - 1) / target);
-    std::vector<Sequence> chunks;
-    chunks.reserve((seq.size() + chunk_size - 1) / chunk_size);
-    for (size_t begin = 0; begin < seq.size(); begin += chunk_size) {
-      const size_t end = std::min(begin + chunk_size, seq.size());
-      Sequence chunk;
-      chunk.reserve(end - begin);
-      std::move(seq.begin() + static_cast<ptrdiff_t>(begin),
-                seq.begin() + static_cast<ptrdiff_t>(end),
-                std::back_inserter(chunk));
-      chunks.push_back(std::move(chunk));
+  // Everything one parallel loop's slots share, owned via shared_ptr:
+  // queued helper tasks can run after the join returned (a stale helper
+  // claims nothing and must touch nothing but the scheduler — every other
+  // field may reference the coordinator's dead stack frame by then).
+  struct LoopShared {
+    LoopShared(size_t binding_count, size_t slot_count)
+        : sched(binding_count, slot_count) {}
+
+    BindingScheduler sched;
+    // Bindings with index > cancel_after may be skipped: the loop's result
+    // is already determined by the event recorded at cancel_after (an
+    // error, or a quantifier decider). Monotonically non-increasing, so a
+    // binding below the final event index is never skipped — which is what
+    // makes the join's winner exactly serial evaluation's.
+    std::atomic<size_t> cancel_after{std::numeric_limits<size_t>::max()};
+    // Hard abort (a slot threw): skip all remaining work, results void.
+    std::atomic<bool> torn{false};
+
+    std::mutex mu;  // guards the event fields and `overlays`
+    size_t event_index = std::numeric_limits<size_t>::max();
+    bool event_is_error = false;
+    Status error = OkStatus();
+    std::exception_ptr thrown;
+    // Worker-created overlays tagged with their binding index (creation
+    // order within a binding preserved — one slot evaluates a whole
+    // binding); the join merges them into the coordinator's view stably
+    // sorted by index, reproducing serial registration order.
+    std::vector<
+        std::pair<size_t, std::shared_ptr<const goddag::GoddagOverlay>>>
+        overlays;
+
+    // Immutable after construction; valid while any binding is unclaimed
+    // (the coordinator outlives its join, and claims cannot happen after).
+    Engine* engine = nullptr;
+    const xpath::AxisEvaluator* axes = nullptr;
+    const QueryOptions* options = nullptr;
+    base::ThreadPool* pool = nullptr;
+    goddag::OverlayView* parent_view = nullptr;
+    const std::vector<std::pair<std::string, Sequence>>* parent_bindings =
+        nullptr;
+    const AstNode* loop = nullptr;  // the kFor / kQuantified node
+    const Item* context = nullptr;
+    bool quantified = false;
+    Sequence bindings;
+    std::vector<Sequence> results;  // kFor: one slot per binding
+  };
+
+  // Records that binding `index` ended the loop — with an error, or (for
+  // quantifiers) by deciding. The lowest index wins, exactly as the serial
+  // loop would have stopped there first.
+  static void RecordEvent(LoopShared* st, size_t index, bool is_error,
+                          Status status) {
+    size_t cur = st->cancel_after.load(std::memory_order_relaxed);
+    while (index < cur && !st->cancel_after.compare_exchange_weak(
+                              cur, index, std::memory_order_relaxed)) {
     }
-    return chunks;
+    std::lock_guard<std::mutex> lock(st->mu);
+    if (index < st->event_index) {
+      st->event_index = index;
+      st->event_is_error = is_error;
+      st->error = std::move(status);
+    }
   }
 
-  // One task per chunk of bindings; each task runs the serial loop over its
-  // chunk, and chunk results are concatenated in binding order — so the
-  // output is byte-identical to the serial loop. On error, the status of
-  // the earliest-bound failing iteration wins: within a chunk the task
-  // stops at its first failure (exactly as serial evaluation does), and
-  // across chunks the in-order join below keeps the earliest.
-  StatusOr<Sequence> EvalForParallel(const AstNode& node, const Item* context,
-                                     Sequence seq) {
-    std::vector<Sequence> chunks = ChunkBindings(std::move(seq));
-    engine_->parallel_tasks_.fetch_add(chunks.size(),
-                                       std::memory_order_relaxed);
-    std::vector<std::future<StatusOr<Sequence>>> futures;
-    futures.reserve(chunks.size());
-    for (Sequence& chunk : chunks) {
-      // Tasks read this evaluator's bindings_ (to snapshot them) and the
-      // caller-owned context item; both stay untouched until every future
-      // is joined below.
-      futures.push_back(pool_->Submit(
-          [this, &node, context,
-           chunk = std::move(chunk)]() mutable -> StatusOr<Sequence> {
-            Evaluator worker(engine_, &axes_, options_, view_, bindings_);
-            Sequence out;
-            for (Item& item : chunk) {
-              worker.bindings_.emplace_back(node.name,
-                                            Sequence{std::move(item)});
-              auto body = worker.Eval(*node.children[1], context);
-              worker.bindings_.pop_back();
-              if (!body.ok()) return body.status();
-              std::move(body->begin(), body->end(),
-                        std::back_inserter(out));
+  // Runs one worker slot of a parallel loop to completion: claims binding
+  // indices (stealing once its own deque drains), evaluates the loop body
+  // in a worker-private forked view, and publishes results / events /
+  // created overlays into the shared state. Static on purpose: until a
+  // claim succeeds it may touch nothing but `st`'s scheduler — not even a
+  // `this` — because a stale helper can outlive the coordinator.
+  static void RunLoopSlot(const std::shared_ptr<LoopShared>& st,
+                          size_t slot) {
+    // Worker state is created lazily on the first claim; a stale helper
+    // never reaches it.
+    std::optional<goddag::OverlayView> view;
+    std::vector<std::shared_ptr<const goddag::GoddagOverlay>> own;
+    std::optional<Evaluator> worker;
+    size_t index = 0;
+    bool stolen = false;
+    while (st->sched.Claim(slot, &index, &stolen)) {
+      if (stolen) {
+        st->engine->steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+      const bool skip = st->torn.load(std::memory_order_relaxed) ||
+                        index > st->cancel_after.load(std::memory_order_relaxed);
+      if (!skip) {
+        try {
+          if (st->loop->body_contains_analyze_string) {
+            // A fresh fork per binding: the contract is that a body sees
+            // base + kept + pre-loop temporaries + its *own* — never
+            // those of earlier bindings that happened to land on this
+            // slot, which would make output depend on steal timing. The
+            // binding-stack snapshot is reused across the slot's bindings
+            // (push/pop restores it); only the view and overlay list
+            // reset.
+            view.emplace(st->parent_view);
+            own.clear();
+            if (!worker.has_value()) {
+              worker.emplace(st->engine, st->axes, st->options, st->pool,
+                             &*view, &own, *st->parent_bindings);
+            } else {
+              worker->view_ = &*view;
             }
-            return out;
-          }));
+          } else if (!worker.has_value()) {
+            // The body provably creates no overlays (containment is
+            // transitive, so neither can anything nested in it): share
+            // the coordinator's view read-only instead of forking per
+            // binding.
+            worker.emplace(st->engine, st->axes, st->options, st->pool,
+                           st->parent_view, &own, *st->parent_bindings);
+          }
+          worker->bindings_.emplace_back(
+              st->loop->name, Sequence{std::move(st->bindings[index])});
+          auto body = worker->Eval(*st->loop->children[1], st->context);
+          worker->bindings_.pop_back();
+          if (!body.ok()) {
+            RecordEvent(st.get(), index, /*is_error=*/true, body.status());
+          } else if (st->quantified) {
+            auto value = worker->BooleanValue(
+                *body, st->loop->children[1]->offset);
+            if (!value.ok()) {
+              RecordEvent(st.get(), index, /*is_error=*/true,
+                          value.status());
+            } else if (*value != st->loop->every) {
+              RecordEvent(st.get(), index, /*is_error=*/false, OkStatus());
+            }
+          } else {
+            st->results[index] = *std::move(body);
+          }
+          if (!own.empty()) {
+            // Publish before MarkDone: the join may return the instant the
+            // last binding is marked done. The shared list keeps the
+            // overlays alive past this binding's view reset (own was
+            // cleared at the top of the claim, so everything here is this
+            // binding's).
+            std::lock_guard<std::mutex> lock(st->mu);
+            for (const auto& overlay : own) {
+              st->overlays.emplace_back(index, overlay);
+            }
+          }
+        } catch (...) {
+          st->torn.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(st->mu);
+          if (st->thrown == nullptr) st->thrown = std::current_exception();
+        }
+      }
+      st->sched.MarkDone();
+    }
+  }
+
+  // The parallel loop driver, shared by kFor and kQuantified. The
+  // coordinator runs slot 0 itself, submits slots-1 helper tasks, helps
+  // drain the pool's backlog while stragglers finish, then joins: binding
+  // results concatenate in index order, worker sub-overlays merge into
+  // this evaluator's view in binding order, and the lowest-indexed
+  // error/decider event wins — byte-identical to the serial loop (see the
+  // engine.h contract for the two narrow caveats).
+  StatusOr<Sequence> EvalLoopParallel(const AstNode& node,
+                                      const Item* context, Sequence seq) {
+    const size_t n = seq.size();
+    const size_t slots = std::min<size_t>(options_->threads, n);
+    auto st = std::make_shared<LoopShared>(n, slots);
+    st->engine = engine_;
+    st->axes = &axes_;
+    st->options = options_;
+    st->pool = pool_;
+    st->parent_view = view_;
+    st->parent_bindings = &bindings_;
+    st->loop = &node;
+    st->context = context;
+    st->quantified = node.kind == ExprKind::kQuantified;
+    st->bindings = std::move(seq);
+    if (!st->quantified) st->results.resize(n);
+
+    std::exception_ptr submit_error;
+    for (size_t s = 1; s < slots; ++s) {
+      try {
+        pool_->Submit([st, s] { RunLoopSlot(st, s); });
+        engine_->parallel_tasks_.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        // Helpers that never materialise are only lost parallelism — the
+        // remaining slots steal the work — but the loop must still tear
+        // down cleanly before rethrowing.
+        submit_error = std::current_exception();
+        st->torn.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    RunLoopSlot(st, 0);
+    // Help drain the backlog instead of sleeping on it: the queue may hold
+    // this loop's own helpers (whose work slot 0 just finished stealing)
+    // or a sibling loop's — running either makes global progress, and a
+    // nested coordinator blocked here never starves the pool.
+    while (!st->sched.AllDone() && pool_->RunPendingTask()) {
+    }
+    st->sched.WaitAllDone();
+
+    // Join. After WaitAllDone no slot touches the shared state (overlay
+    // publication happens before each MarkDone), so the reads below are
+    // race-free without st->mu.
+    if (submit_error != nullptr) std::rethrow_exception(submit_error);
+    if (st->thrown != nullptr) std::rethrow_exception(st->thrown);
+    const bool has_event =
+        st->event_index != std::numeric_limits<size_t>::max();
+    if (has_event && st->event_is_error) return st->error;
+    // Merge worker sub-overlays up to and including the event binding (a
+    // quantifier's serial loop evaluates its decider fully, then stops;
+    // overlays speculatively created past it are discarded here and die
+    // with their shared_ptrs).
+    std::stable_sort(st->overlays.begin(), st->overlays.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (auto& [binding_index, overlay] : st->overlays) {
+      if (binding_index > st->event_index) break;
+      own_->push_back(overlay);
+      view_->AddOverlay(std::move(overlay));
+    }
+    if (st->quantified) {
+      return Sequence{Item::Boolean(has_event ? !node.every : node.every)};
     }
     Sequence out;
-    Status error = OkStatus();
-    std::exception_ptr thrown;
-    // Join every future even after a failure: tasks capture pointers into
-    // this stack frame, so no task may outlive this loop.
-    for (auto& future : futures) {
-      try {
-        StatusOr<Sequence> body = future.get();
-        if (!error.ok() || thrown != nullptr) continue;
-        if (!body.ok()) {
-          error = body.status();
-          continue;
-        }
-        std::move(body->begin(), body->end(), std::back_inserter(out));
-      } catch (...) {
-        if (thrown == nullptr) thrown = std::current_exception();
-      }
+    size_t total = 0;
+    for (const Sequence& result : st->results) total += result.size();
+    out.reserve(total);
+    for (Sequence& result : st->results) {
+      std::move(result.begin(), result.end(), std::back_inserter(out));
     }
-    if (thrown != nullptr) std::rethrow_exception(thrown);
-    if (!error.ok()) return error;
     return out;
-  }
-
-  // Parallel some/every with short-circuit cancellation: the first task to
-  // find a deciding binding (value != every) flips `decided`, and every
-  // task polls the flag between bindings — undecided work stops early
-  // instead of running its whole chunk. The quantifier's boolean is
-  // order-independent, so error-free evaluation equals serial exactly. The
-  // one residual divergence is error-vs-cancellation: a chunk skipped by
-  // the flag is never evaluated, so an error serial evaluation would have
-  // hit inside it can be answered with the (real) deciding boolean
-  // instead. An error in an evaluated chunk keeps serial precedence — see
-  // the join below.
-  StatusOr<Sequence> EvalQuantifiedParallel(const AstNode& node,
-                                            const Item* context,
-                                            Sequence seq) {
-    std::vector<Sequence> chunks = ChunkBindings(std::move(seq));
-    engine_->parallel_tasks_.fetch_add(chunks.size(),
-                                       std::memory_order_relaxed);
-    auto decided = std::make_shared<std::atomic<bool>>(false);
-    // What one chunk observed: kDecided — some binding had value != every
-    // (all earlier bindings of the chunk were non-deciding); kAllPassed —
-    // every binding evaluated, none decided; kSkipped — stopped early
-    // because another task decided.
-    enum class Outcome { kDecided, kAllPassed, kSkipped };
-    std::vector<std::future<StatusOr<Outcome>>> futures;
-    futures.reserve(chunks.size());
-    for (Sequence& chunk : chunks) {
-      futures.push_back(pool_->Submit(
-          [this, &node, context, decided,
-           chunk = std::move(chunk)]() mutable -> StatusOr<Outcome> {
-            Evaluator worker(engine_, &axes_, options_, view_, bindings_);
-            for (Item& item : chunk) {
-              if (decided->load(std::memory_order_relaxed)) {
-                return Outcome::kSkipped;
-              }
-              worker.bindings_.emplace_back(node.name,
-                                            Sequence{std::move(item)});
-              auto body = worker.Eval(*node.children[1], context);
-              worker.bindings_.pop_back();
-              if (!body.ok()) return body.status();
-              MHX_ASSIGN_OR_RETURN(
-                  bool value,
-                  worker.BooleanValue(*body, node.children[1]->offset));
-              if (value != node.every) {
-                decided->store(true, std::memory_order_relaxed);
-                return Outcome::kDecided;
-              }
-            }
-            return Outcome::kAllPassed;
-          }));
-    }
-    Status error = OkStatus();
-    std::exception_ptr thrown;
-    bool decided_in_order = false;
-    bool saw_skip = false;
-    for (auto& future : futures) {
-      try {
-        StatusOr<Outcome> outcome = future.get();
-        if (!error.ok() || thrown != nullptr || decided_in_order) continue;
-        if (!outcome.ok()) {
-          error = outcome.status();
-          continue;
-        }
-        switch (*outcome) {
-          case Outcome::kDecided:
-            decided_in_order = true;
-            break;
-          case Outcome::kSkipped:
-            saw_skip = true;  // a deciding binding exists somewhere
-            break;
-          case Outcome::kAllPassed:
-            break;
-        }
-      } catch (...) {
-        if (thrown == nullptr) thrown = std::current_exception();
-      }
-    }
-    if (thrown != nullptr) std::rethrow_exception(thrown);
-    // Chunk-order precedence, matching serial evaluation: the first chunk
-    // (in binding order) to decide or to error wins — the join loop above
-    // freezes on whichever came first. A skip only stands in for the
-    // decision when no earlier chunk errored: a skipped chunk proves a
-    // decider exists *somewhere*, not that it precedes the error.
-    if (decided_in_order) return Sequence{Item::Boolean(!node.every)};
-    if (!error.ok()) return error;
-    if (saw_skip) return Sequence{Item::Boolean(!node.every)};
-    return Sequence{Item::Boolean(node.every)};
   }
 
   // --- booleans, comparisons, arithmetic -----------------------------------
@@ -979,42 +1213,37 @@ class Evaluator {
 
   StatusOr<const regex::Regex*> CompiledRegex(const std::string& pattern,
                                               size_t offset) {
-    // Parallel workers hit this cache concurrently (matches() is
-    // parallel-safe); map nodes are address-stable, so the returned pointer
-    // outlives the lock.
+    // Parallel workers hit this cache concurrently (matches() and
+    // analyze-string() are parallel-safe); entries are address-stable
+    // behind unique_ptr, so the returned pointer outlives the lock. The
+    // hit path is one unordered hash lookup — no allocation, no O(log n)
+    // full-string compares under cache_mu_.
     {
       std::lock_guard<std::mutex> lock(engine_->cache_mu_);
       auto it = engine_->regex_cache_.find(pattern);
-      if (it != engine_->regex_cache_.end()) return &it->second;
+      if (it != engine_->regex_cache_.end()) return &it->second->value;
     }
     auto compiled = regex::Regex::Compile(pattern);  // outside the lock
     if (!compiled.ok()) {
       return EvalErrorAt(offset, compiled.status().message());
     }
     std::lock_guard<std::mutex> lock(engine_->cache_mu_);
-    // A racing compile of the same pattern keeps the first entry.
-    auto it = engine_->regex_cache_
-                  .emplace(pattern, std::move(compiled).value())
-                  .first;
-    return &it->second;
+    return &internal::StringCacheFindOrEmplace(
+        engine_->regex_cache_, pattern, std::move(compiled).value());
   }
 
   // The paper's analyze-string(): match a fragment pattern against the
   // string of a node and materialise every match — and every named fragment
   // group — as a temporary virtual hierarchy over the node's base-text
-  // range. The hierarchy is an evaluation-private GoddagOverlay: the base
-  // document is untouched, so concurrent evaluations need no exclusion and
-  // teardown is dropping the overlay. Returns the result wrapper element,
-  // whose leaf() descendants are the analysed range re-partitioned by the
-  // match boundaries.
+  // range. The hierarchy is a GoddagOverlay private to this evaluator's
+  // view — the evaluation's for the coordinator, a worker's forked view
+  // inside a parallel loop — so the base document is untouched, concurrent
+  // evaluations and sibling workers need no exclusion, and teardown is
+  // dropping the overlay. Returns the result wrapper element, whose leaf()
+  // descendants are the analysed range re-partitioned by the match
+  // boundaries.
   StatusOr<Sequence> EvalAnalyzeString(const AstNode& node,
                                        const Item* context) {
-    if (mutable_view_ == nullptr) {
-      // Unreachable while IsParallelSafe gates fan-out; checked so a future
-      // gating bug degrades to an error instead of a data race on the view.
-      return EvalErrorAt(node.offset,
-                         "analyze-string() inside a parallel worker");
-    }
     MHX_ASSIGN_OR_RETURN(Sequence target, Eval(*node.children[0], context));
     if (target.size() != 1 || (target[0].kind != Item::Kind::kNode &&
                                target[0].kind != Item::Kind::kLeaf)) {
@@ -1082,7 +1311,7 @@ class Evaluator {
       return InternalError("analyze-string() lost its result wrapper");
     }
     own_->push_back(*overlay);
-    mutable_view_->AddOverlay(*std::move(overlay));
+    view_->AddOverlay(*std::move(overlay));
     return Sequence{Item::Node(wrapper)};
   }
 
@@ -1164,20 +1393,20 @@ class Evaluator {
   }
 
   Engine* engine_;
-  // The evaluation's read seam: immutable base + kept hierarchies + own
-  // overlays. mutable_view_ is null in parallel workers, which share the
-  // coordinator's view read-only; own_ collects overlays for the engine to
-  // keep or drop after evaluation.
-  const goddag::OverlayView* view_;
-  goddag::OverlayView* mutable_view_;
+  // This evaluator's read/write seam: for the coordinator, the
+  // evaluation's root view (immutable base + kept hierarchies + own
+  // overlays); for a parallel worker slot, a private view forked off the
+  // coordinator's, which stays frozen while the worker runs. own_ collects
+  // the overlays this evaluator materialises — the engine keeps or drops
+  // the coordinator's, and a loop join migrates workers' into the
+  // coordinator's list in binding order.
+  goddag::OverlayView* view_;
   std::vector<std::shared_ptr<const goddag::GoddagOverlay>>* own_;
   const xpath::AxisEvaluator& axes_;
   const QueryOptions* options_;
-  // Fan-out pool; null for serial evaluation and inside parallel workers.
+  // Fan-out pool; null for serial evaluation. Workers keep it so nested
+  // `for` loops fan out too.
   base::ThreadPool* pool_;
-  // True in evaluators running as pool tasks: they must not fan out again
-  // (see the worker constructor).
-  bool parallel_worker_ = false;
   std::vector<std::pair<std::string, Sequence>> bindings_;
 };
 
@@ -1224,19 +1453,18 @@ Engine::SnapshotKept() const {
 
 StatusOr<const Expr*> Engine::PreparedQuery(std::string_view query) {
   {
+    // Repeat queries hit here: one string_view hash lookup under
+    // cache_mu_, no allocation (see internal::StringCache).
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = query_cache_.find(query);
-    if (it != query_cache_.end()) return it->second.get();
+    if (it != query_cache_.end()) return it->second->value.get();
   }
   auto parsed = ParseQuery(query);  // outside the lock
   if (!parsed.ok()) return parsed.status();
   std::lock_guard<std::mutex> lock(cache_mu_);
-  // A racing parse of the same query keeps the first entry; map nodes are
-  // address-stable, so the pointer stays valid for the engine's lifetime.
-  auto it = query_cache_
-                .emplace(std::string(query), std::move(parsed).value())
-                .first;
-  return it->second.get();
+  return internal::StringCacheFindOrEmplace(query_cache_, std::string(query),
+                                            std::move(parsed).value())
+      .get();
 }
 
 base::ThreadPool* Engine::pool(unsigned threads) {
@@ -1257,7 +1485,7 @@ StatusOr<Engine::EvaluationOutput> Engine::EvaluateInternal(
   MHX_ASSIGN_OR_RETURN(const Expr* expr, PreparedQuery(query));
   // threads: 0 and 1 are the same request — serial evaluation. Normalising
   // here keeps every later decision (pool creation, ShouldParallelize,
-  // chunking) on one code path with identical plans and counters.
+  // slot sizing) on one code path with identical plans and counters.
   QueryOptions normalized = options;
   if (normalized.threads == 0) normalized.threads = 1;
   base::ThreadPool* fan_out_pool = pool(normalized.threads);
@@ -1301,8 +1529,13 @@ StatusOr<std::string> Engine::Evaluate(std::string_view query,
 
 StatusOr<KeptEvaluation> Engine::EvaluateKeepingTemporaries(
     std::string_view query) {
+  return EvaluateKeepingTemporaries(query, QueryOptions());
+}
+
+StatusOr<KeptEvaluation> Engine::EvaluateKeepingTemporaries(
+    std::string_view query, const QueryOptions& options) {
   MHX_ASSIGN_OR_RETURN(EvaluationOutput output,
-                       EvaluateInternal(query, QueryOptions()));
+                       EvaluateInternal(query, options));
   if (!output.temporaries.empty()) {
     std::lock_guard<std::mutex> lock(kept_->mu);
     kept_->overlays.insert(kept_->overlays.end(),

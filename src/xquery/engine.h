@@ -28,14 +28,47 @@
 //    caches and the kept-temporaries registry are mutex-guarded.
 //  * Within one query, QueryOptions{threads > 1} fans independent FLWOR
 //    `for` iterations and some/every quantifier bindings out across a
-//    base::ThreadPool whenever the binding body IsParallelSafe; workers
-//    share the coordinator's overlay view read-only, and per-iteration
-//    results merge in binding order — results are byte-identical to serial
-//    evaluation, errors included, with one narrow exception: a quantifier
-//    binding that serial evaluation would have reported as an error can be
-//    skipped entirely by short-circuit cancellation when a genuinely
-//    deciding binding finishes first (the boolean returned is still correct
-//    for the bindings that exist).
+//    base::ThreadPool whenever the binding body IsParallelSafe — which now
+//    includes analyze-string() bodies. Scheduling is work-stealing: each
+//    worker slot owns a deque of binding indices, idle slots steal the
+//    back half of a victim's remainder (Engine::steals() counts these),
+//    and the coordinating thread participates as slot 0 and helps drain
+//    the pool while joining, so nested fan-out of inner `for` loops is
+//    both allowed and deadlock-free.
+//
+// Worker sub-overlay lifetime and join-order merge rules. Each worker slot
+// evaluates in a *forked* goddag::OverlayView: reads resolve through the
+// coordinator's view (base + kept + coordinator overlays), writes —
+// analyze-string() temporaries — land in the worker's private namespace,
+// with id blocks leased from the engine's shared OverlayIdAllocator so
+// worker overlays never collide with anything they can meet in a view. At
+// join the coordinator re-registers the workers' overlays in its own view
+// in binding order (creation order within one binding preserved; a
+// quantifier discards overlays from bindings after the deciding one), so
+// post-loop steps, the serialised result, and any KeptTemporaries handle
+// see exactly the overlays — in exactly the registration order — serial
+// evaluation would have produced. Worker overlays an error discards die
+// with the worker's view; nothing ever touches the base document.
+//
+// Binding scoping rule (thread-count invariant by construction): a loop
+// body that can materialise temporaries — ContainsAnalyzeString — is
+// evaluated per binding in an isolated child view whether the loop runs
+// serial or parallel, so every binding sees base + kept + the enclosing
+// scopes' temporaries + its *own*, never a sibling binding's, and the
+// loop's output is identical at every `threads` setting. (This is also
+// real XQuery's semantics: analyze-string() returns a fresh tree other
+// iterations cannot see.) Post-loop expressions see all committed
+// overlays, in binding order.
+//
+// Results are byte-identical to serial evaluation, errors included: the
+// error of the earliest failing binding wins, and a quantifier returns
+// whatever the lowest-indexed deciding-or-failing binding decided, exactly
+// as the serial loop would. Two caveats, both invisible to independent
+// binding bodies: (1) bindings past the deciding/failing one may be
+// evaluated speculatively before cancellation lands (their results and
+// overlays are discarded); (2) document-order ties between equal-range
+// nodes of *different* overlays fall back to overlay id allocation order,
+// which concurrent leasing does not pin to binding order.
 //
 // Mutating the document directly (mutable_goddag()) while any query runs
 // remains undefined behaviour, as does moving the document.
@@ -44,11 +77,11 @@
 #define MHX_XQUERY_ENGINE_H_
 
 #include <atomic>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "base/statusor.h"
@@ -73,10 +106,10 @@ struct QueryOptions {
   // Worker threads for intra-query fan-out. 0 and 1 both mean serial
   // evaluation (0 is normalised to 1 on entry — identical code path, plan,
   // and counters). The engine keeps one shared pool, grown to the largest
-  // `threads` any evaluation has requested; `threads` also sets this
-  // evaluation's chunking granularity (4 chunks per requested thread), so a
-  // smaller request on a bigger shared pool can run wider than asked —
-  // treat the knob as a fan-out width, not a hard concurrency cap.
+  // `threads` any evaluation has requested; a parallel loop runs on
+  // min(threads, bindings) worker slots — the coordinating thread plus
+  // pool helpers — with work-stealing balancing skewed iteration costs
+  // across them.
   unsigned threads = 1;
   // Testing only: ignore ordering guarantees and re-sort + dedup after every
   // path step, as the engine did before guarantees existed. Lets tests pin
@@ -91,6 +124,42 @@ struct KeptRegistry {
   std::mutex mu;
   std::vector<std::shared_ptr<const goddag::GoddagOverlay>> overlays;
 };
+
+// A string-keyed cache entry whose key the map's string_view key points
+// into: C++17 has no heterogeneous unordered_map lookup, so the key type
+// *is* string_view and each entry owns its key's storage. Entries live
+// behind unique_ptr, so rehashing moves pointers only and mapped values
+// stay address-stable for the engine's lifetime.
+template <typename T>
+struct CacheEntry {
+  std::string key;
+  T value;
+};
+
+// Hot-path lookup by string_view hashes once and compares at most a
+// bucket's worth of equal-hash keys — no allocation, no O(log n) chain of
+// full-string compares (the former std::map).
+template <typename T>
+using StringCache =
+    std::unordered_map<std::string_view, std::unique_ptr<CacheEntry<T>>>;
+
+// The insert half of the double-checked cache idiom, caller holding the
+// cache's mutex: re-find (a racing builder of the same key keeps the first
+// entry), else move `value` into a new entry whose map key aliases the
+// entry's own string. Returns the cached value, address-stable for the
+// cache's lifetime.
+template <typename T>
+T& StringCacheFindOrEmplace(StringCache<T>& cache, std::string key,
+                            T value) {
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto entry = std::unique_ptr<CacheEntry<T>>(
+        new CacheEntry<T>{std::move(key), std::move(value)});
+    const std::string_view entry_key = entry->key;
+    it = cache.emplace(entry_key, std::move(entry)).first;
+  }
+  return it->second->value;
+}
 }  // namespace internal
 
 // Move-only handle returned by EvaluateKeepingTemporaries: it keeps that
@@ -153,8 +222,13 @@ class Engine {
 
   // Evaluates a query but keeps any virtual hierarchies created by
   // analyze-string() alive — and visible to later evaluations — for as long
-  // as the returned handle is (see KeptTemporaries).
+  // as the returned handle is (see KeptTemporaries). The options overload
+  // accepts the same knobs as Evaluate; with threads > 1, worker
+  // sub-overlays merged at join are kept exactly as serial evaluation
+  // would have kept them, in binding order.
   StatusOr<KeptEvaluation> EvaluateKeepingTemporaries(std::string_view query);
+  StatusOr<KeptEvaluation> EvaluateKeepingTemporaries(
+      std::string_view query, const QueryOptions& options);
 
   // Unregisters every kept temporary hierarchy, regardless of outstanding
   // handles (which become inert).
@@ -181,10 +255,17 @@ class Engine {
     return sorts_skipped_.load(std::memory_order_relaxed);
   }
 
-  // FLWOR iterations / quantifier bindings dispatched to the thread pool.
+  // Worker tasks dispatched to the thread pool by parallel loops (the
+  // coordinator's own slot is not counted).
   size_t parallel_tasks() const {
     return parallel_tasks_.load(std::memory_order_relaxed);
   }
+
+  // Binding ranges stolen from a sibling slot's deque by an idle worker —
+  // the work-stealing scheduler rebalancing skewed iteration costs.
+  // Monotonic over the engine's lifetime; relaxed counter, surfaced by the
+  // threads-axis benchmarks.
+  size_t steals() const { return steals_.load(std::memory_order_relaxed); }
 
  private:
   friend class mhx::MultihierarchicalDocument;
@@ -242,9 +323,10 @@ class Engine {
       std::make_shared<internal::KeptRegistry>();
   // Prepared-query and compiled-pattern caches (documents are immutable
   // after Build, so both stay valid for the engine's lifetime). Guarded by
-  // cache_mu_; the mapped values live at stable addresses.
-  std::map<std::string, std::unique_ptr<Expr>, std::less<>> query_cache_;
-  std::map<std::string, regex::Regex, std::less<>> regex_cache_;
+  // cache_mu_; the mapped values live at stable addresses (see
+  // internal::StringCache).
+  internal::StringCache<std::unique_ptr<Expr>> query_cache_;
+  internal::StringCache<regex::Regex> regex_cache_;
 
   // Guards query_cache_, regex_cache_, pool_ creation, and axes_ creation.
   std::mutex cache_mu_;
@@ -254,6 +336,7 @@ class Engine {
   std::vector<std::unique_ptr<base::ThreadPool>> retired_pools_;
   std::atomic<size_t> sorts_skipped_{0};
   std::atomic<size_t> parallel_tasks_{0};
+  std::atomic<size_t> steals_{0};
 };
 
 }  // namespace mhx::xquery

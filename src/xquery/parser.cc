@@ -772,11 +772,25 @@ class Parser {
   int depth_ = 0;
 };
 
+// Stamps the per-loop body classifications (see AstNode) on every kFor /
+// kQuantified node, so the engine never re-walks an immutable body subtree
+// at evaluation time.
+void StampLoopClassifications(AstNode* node) {
+  VisitSubExprs(*node,
+                [](AstNode& child) { StampLoopClassifications(&child); });
+  if (node->kind == ExprKind::kFor || node->kind == ExprKind::kQuantified) {
+    node->body_parallel_safe = IsParallelSafe(*node->children[1]);
+    node->body_contains_analyze_string =
+        ContainsAnalyzeString(*node->children[1]);
+  }
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<Expr>> ParseQuery(std::string_view query) {
   Parser parser(query);
   MHX_ASSIGN_OR_RETURN(NodePtr root, parser.Parse());
+  StampLoopClassifications(root.get());
   return std::make_unique<Expr>(std::string(query), std::move(root));
 }
 

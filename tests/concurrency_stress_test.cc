@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -23,6 +24,21 @@
 
 namespace mhx {
 namespace {
+
+// Iteration multiplier: MHX_STRESS_ITERS=N scales every loop below by N.
+// The CI TSan lane re-runs the heaviest case standalone with this bumped,
+// buying interleaving coverage without slowing the ordinary ctest pass.
+int StressIters(int base) {
+  static const int multiplier = [] {
+    const char* value = std::getenv("MHX_STRESS_ITERS");
+    if (value != nullptr) {
+      const int parsed = std::atoi(value);
+      if (parsed > 0) return parsed;
+    }
+    return 1;
+  }();
+  return base * multiplier;
+}
 
 TEST(ConcurrencyStressTest, ColdEngineInitRace) {
   // All threads race the lazy engine/axes/index creation on a fresh doc.
@@ -120,7 +136,7 @@ TEST(ConcurrencyStressTest, ConcurrentAnalyzeStringIsByteIdentical) {
   std::vector<std::thread> threads;
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&doc, &expected, &failures] {
-      for (int i = 0; i < 8; ++i) {
+      for (int i = 0; i < StressIters(8); ++i) {
         auto out = doc.Query(workload::kQueryII1);
         if (!out.ok() || *out != expected) ++failures;
       }
@@ -164,6 +180,78 @@ TEST(ConcurrencyStressTest, KeptTemporariesChurnUnderConcurrentReaders) {
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(doc.engine()->temporary_hierarchy_count(), 0u);
+}
+
+// Intra-query fan-out (work-stealing slots building worker-private
+// sub-overlays via analyze-string inside the loop body) racing engine-level
+// concurrency: plain readers, a second fanned-out analyze-string query, and
+// kept-temporaries churn, all on one engine. This is the full PR-5 surface
+// in one pot — worker view forks, the shared OverlayIdAllocator, sub-overlay
+// merges at join, the kept registry, and the pool's help-drain path.
+TEST(ConcurrencyStressTest, IntraQueryFanOutRacesEngineLevelQueries) {
+  workload::EditionConfig config;
+  config.seed = 37;
+  config.word_count = 120;
+  config.damage_coverage = 0.12;
+  config.restoration_coverage = 0.15;
+  auto built = workload::BuildEditionDocument(config);
+  ASSERT_TRUE(built.ok()) << built.status();
+  MultihierarchicalDocument doc = std::move(built).value();
+
+  const char* kFanOutQuery =
+      "for $w in /descendant::w[matches(string(.), '.*e.*')] return ("
+      "  let $r := analyze-string($w, '.*e.*')"
+      "  return for $leaf in $r/descendant::leaf()"
+      "  return if ($leaf/xancestor::m) then <b>{$leaf}</b> else $leaf"
+      "  , <br/> )";
+  const char* kKeepQuery =
+      "for $w in /descendant::w[matches(string(.), '.*ea.*')] return "
+      "count(analyze-string($w, '.*ea.*')/descendant::leaf())";
+
+  QueryOptions fan_out;
+  fan_out.threads = 4;
+  auto fan_out_serial = doc.Query(kFanOutQuery);
+  ASSERT_TRUE(fan_out_serial.ok()) << fan_out_serial.status();
+  const std::string fan_out_expected = *fan_out_serial;
+  auto reader_serial = doc.Query("count(/descendant::w[overlapping::line])");
+  ASSERT_TRUE(reader_serial.ok()) << reader_serial.status();
+  const std::string reader_expected = *reader_serial;
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  // Two threads running the fanned-out analyze-string query: intra-query
+  // worker slots of both queries interleave on the shared pool.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < StressIters(6); ++i) {
+        auto out = doc.Query(kFanOutQuery, fan_out);
+        if (!out.ok() || *out != fan_out_expected) ++failures;
+      }
+    });
+  }
+  // Plain engine-level readers.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < StressIters(8); ++i) {
+        auto out = doc.Query("count(/descendant::w[overlapping::line])");
+        if (!out.ok() || *out != reader_expected) ++failures;
+      }
+    });
+  }
+  // Kept-temporaries churn from a parallel evaluation: worker sub-overlays
+  // merge into the kept registry, readers snapshot it mid-churn, then the
+  // handle drops.
+  threads.emplace_back([&] {
+    for (int i = 0; i < StressIters(5); ++i) {
+      auto kept = doc.engine()->EvaluateKeepingTemporaries(kKeepQuery,
+                                                           fan_out);
+      if (!kept.ok() || kept->temporaries.hierarchy_count() == 0) ++failures;
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(doc.engine()->temporary_hierarchy_count(), 0u);
+  EXPECT_EQ(doc.engine()->index_rebuild_count(), 1u);
 }
 
 TEST(ConcurrencyStressTest, ThreadPoolSubmitRace) {

@@ -272,5 +272,94 @@ TEST(OverlayViewTest, StandardAxesNavigateWithinTheOverlay) {
   EXPECT_EQ(ancestors[1], overlay->root());
 }
 
+TEST(OverlayViewTest, BatchedSpliceHandlesManyBoundariesInOnePass) {
+  // One overlay carrying many nested elements inside a single word: every
+  // boundary must land, exactly once, no matter how they batch up before
+  // the first leaves() call.
+  KyGoddag kg = PaperGoddag();
+  const size_t base_cells = kg.leaves().size();
+  auto ids = std::make_shared<OverlayIdAllocator>();
+  OverlayView view(&kg);
+  // "unawendendne" is [9,21): nested elements [9,21) ⊃ [10,20) ⊃ ... make
+  // 10 fresh interior boundaries (10..14 and 16..20); 9/21/15 stay word or
+  // sibling edges.
+  std::vector<VirtualElement> elements;
+  for (size_t d = 0; d < 6; ++d) {
+    elements.push_back(
+        VirtualElement{"n", TextRange(9 + d, 21 - d), {}});
+  }
+  view.AddOverlay(MustCreate(&kg, ids, "deep", std::move(elements)));
+  const std::vector<Leaf>& merged = view.leaves();
+  EXPECT_EQ(merged.size(), base_cells + 10);
+  EXPECT_EQ(merged.front().range.begin, 0u);
+  EXPECT_EQ(merged.back().range.end, kg.base_text().size());
+  for (size_t i = 0; i + 1 < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].range.end, merged[i + 1].range.begin);
+    EXPECT_LT(merged[i].range.begin, merged[i].range.end);
+  }
+  // A second batch drains incrementally on top of the merged partition.
+  view.AddOverlay(MustCreate(&kg, ids, "more",
+                             {VirtualElement{"a", TextRange(2, 3), {}}}));
+  EXPECT_EQ(view.leaves().size(), base_cells + 12);
+}
+
+TEST(OverlayViewTest, ForkedViewReadsThroughAndWritesPrivately) {
+  KyGoddag kg = PaperGoddag();
+  kg.leaves();
+  auto ids = std::make_shared<OverlayIdAllocator>();
+  xpath::AxisEvaluator axes(&kg);
+
+  // Coordinator view with one overlay ("the evaluation so far").
+  OverlayView coordinator(&kg);
+  auto kept = MustCreate(&kg, ids, "kept",
+                         {VirtualElement{"m", TextRange(9, 14), {}}});
+  const NodeId kept_m = kept->elements_begin();
+  coordinator.AddOverlay(kept);
+  const size_t coordinator_cells = coordinator.leaves().size();
+
+  // A worker forks off the coordinator and creates its own overlay.
+  OverlayView worker(&coordinator);
+  EXPECT_EQ(worker.parent(), &coordinator);
+  auto private_overlay = MustCreate(
+      &kg, ids, "private", {VirtualElement{"a", TextRange(25, 27), {}}});
+  const NodeId private_a = private_overlay->elements_begin();
+  worker.AddOverlay(private_overlay);
+
+  // Read-through: the fork resolves base ids, the coordinator's overlay
+  // ids, and its own.
+  EXPECT_EQ(&worker.node(kg.root()), &kg.node(kg.root()));
+  EXPECT_EQ(worker.overlay_of(kept_m), kept.get());
+  EXPECT_EQ(worker.node(kept_m).name, "m");
+  EXPECT_EQ(worker.overlay_of(private_a), private_overlay.get());
+  // Write isolation: the coordinator never sees the fork's overlay.
+  EXPECT_EQ(coordinator.overlay_of(private_a), nullptr);
+  EXPECT_EQ(coordinator.leaves().size(), coordinator_cells);
+  // The fork's partition = the coordinator's partition re-split at its own
+  // overlay's boundaries only ([25,27) adds two fresh cuts).
+  EXPECT_EQ(worker.leaves().size(), coordinator_cells + 2);
+
+  // Axis scans walk the fork chain: from a base context inside [9,14),
+  // xancestor sees the coordinator's m through the fork...
+  auto hits = axes.EvaluateRange(worker, TextRange(11, 12),
+                                 xpath::Axis::kXAncestor);
+  EXPECT_NE(std::find(hits.begin(), hits.end(), kept_m), hits.end());
+  // ...and the fork's private element is invisible through the
+  // coordinator's view.
+  auto parent_hits = axes.EvaluateRange(coordinator, TextRange(25, 27),
+                                        xpath::Axis::kXAncestor);
+  EXPECT_EQ(std::find(parent_hits.begin(), parent_hits.end(), private_a),
+            parent_hits.end());
+  auto fork_hits = axes.EvaluateRange(worker, TextRange(25, 27),
+                                      xpath::Axis::kXAncestor);
+  EXPECT_NE(std::find(fork_hits.begin(), fork_hits.end(), private_a),
+            fork_hits.end());
+
+  // Merge at join: re-registering the fork's overlay on the coordinator
+  // makes it visible there, exactly as the engine does in binding order.
+  coordinator.AddOverlay(private_overlay);
+  EXPECT_EQ(coordinator.overlay_of(private_a), private_overlay.get());
+  EXPECT_EQ(coordinator.leaves().size(), coordinator_cells + 2);
+}
+
 }  // namespace
 }  // namespace mhx::goddag

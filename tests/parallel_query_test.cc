@@ -133,6 +133,111 @@ TEST_F(ParallelQueryTest, QuantifiersByteIdenticalWithFourThreads) {
   }
 }
 
+// --- intra-query parallel analyze-string -----------------------------------
+
+// The paper's hottest body shape (scenario II): analyze-string inside a
+// `for`, leaf() steps over the temporary hierarchy, xancestor reads of the
+// match elements. Workers evaluate it in private sub-overlays merged at
+// join — output must be byte-identical to serial at every width.
+static const char* kAnalyzeStringForBody =
+    "for $w in /descendant::w[matches(string(.), '.*ea.*')] return ("
+    "  let $r := analyze-string($w, '.*ea.*')"
+    "  return"
+    "    for $leaf in $r/descendant::leaf()"
+    "    return if ($leaf/xancestor::m) then <b>{$leaf}</b> else $leaf"
+    "  , <br/> )";
+
+TEST_F(ParallelQueryTest, AnalyzeStringForBodyByteIdenticalAcrossThreads) {
+  const std::string serial =
+      MustQuery(*edition_, kAnalyzeStringForBody, Threads(1));
+  ASSERT_FALSE(serial.empty());
+  for (unsigned threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(serial, MustQuery(*edition_, kAnalyzeStringForBody,
+                                Threads(threads)))
+        << "threads=" << threads;
+  }
+  // No temporaries may leak from any width, and overlay churn never
+  // rebuilds the base index.
+  EXPECT_EQ(edition_->engine()->temporary_hierarchy_count(), 0u);
+  EXPECT_EQ(edition_->engine()->index_rebuild_count(), 1u);
+}
+
+TEST_F(ParallelQueryTest, AnalyzeStringForBodyActuallyFansOut) {
+  // Prime the query cache, then prove the parallel run dispatched helper
+  // tasks instead of silently falling back to the serial loop (the old
+  // IsParallelSafe rejected analyze-string bodies outright).
+  const std::string serial =
+      MustQuery(*edition_, kAnalyzeStringForBody, Threads(1));
+  const size_t tasks_before = edition_->engine()->parallel_tasks();
+  EXPECT_EQ(serial, MustQuery(*edition_, kAnalyzeStringForBody, Threads(4)));
+  EXPECT_GT(edition_->engine()->parallel_tasks(), tasks_before);
+}
+
+TEST_F(ParallelQueryTest, BindingIsolationIsThreadCountInvariant) {
+  // A body that reads temporaries through an absolute extended-axis path
+  // — the shape that would observe sibling bindings' trees if any leaked.
+  // Under the binding scoping rule every iteration sees only its own
+  // analyze-string tree (plus enclosing-scope temporaries), serial and
+  // parallel alike, so the count per binding is that binding's own match
+  // count and the output is identical at every width. (The serial loop
+  // formerly accumulated temporaries across bindings, making output
+  // thread-count dependent.)
+  const char* query =
+      "for $w in /descendant::w[matches(string(.), '.*e.*')] return "
+      "(let $r := analyze-string($w, '.*e.*') return "
+      "<c>{count(/xdescendant::m)}</c>)";
+  const std::string serial = MustQuery(*edition_, query, Threads(1));
+  EXPECT_EQ(serial.substr(0, 8), "<c>1</c>");  // first binding: own tree only
+  for (unsigned threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(serial, MustQuery(*edition_, query, Threads(threads)))
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelQueryTest, PaperQueryII1ByteIdenticalAcrossThreads) {
+  const std::string serial =
+      MustQuery(*paper_, workload::kQueryII1, Threads(1));
+  for (unsigned threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(serial,
+              MustQuery(*paper_, workload::kQueryII1, Threads(threads)))
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelQueryTest, KeptTemporariesFromWorkerSubOverlaysSurviveMerge) {
+  // A parallel loop that keeps its temporaries: every worker-created
+  // overlay must survive the join into the kept registry, in binding
+  // order, exactly as the serial evaluation keeps them.
+  const char* query =
+      "for $w in /descendant::w[matches(string(.), '.*ea.*')] return "
+      "count(analyze-string($w, '.*ea.*')/descendant::leaf())";
+  auto serial = edition_->engine()->EvaluateKeepingTemporaries(query);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  const size_t kept_serial = serial->temporaries.hierarchy_count();
+  ASSERT_GT(kept_serial, 1u);  // many bindings, one overlay each
+  serial->temporaries.Release();
+  ASSERT_EQ(edition_->engine()->temporary_hierarchy_count(), 0u);
+
+  QueryOptions four;
+  four.threads = 4;
+  auto parallel =
+      edition_->engine()->EvaluateKeepingTemporaries(query, four);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(parallel->items, serial->items);
+  EXPECT_EQ(parallel->temporaries.hierarchy_count(), kept_serial);
+  EXPECT_EQ(edition_->engine()->temporary_hierarchy_count(), kept_serial);
+  // The kept worker overlays are live: later evaluations see their match
+  // elements on extended axes.
+  auto m_count = edition_->Query("count(/descendant::w/xancestor::m)");
+  ASSERT_TRUE(m_count.ok()) << m_count.status();
+  EXPECT_NE(*m_count, "0");
+  parallel->temporaries.Release();
+  EXPECT_EQ(edition_->engine()->temporary_hierarchy_count(), 0u);
+  auto m_count_after = edition_->Query("count(/descendant::w/xancestor::m)");
+  ASSERT_TRUE(m_count_after.ok()) << m_count_after.status();
+  EXPECT_EQ(*m_count_after, "0");
+}
+
 TEST_F(ParallelQueryTest, ErrorsSurfaceFromParallelIterations) {
   // $undefined errors in every iteration; parallel evaluation must report
   // the same status an all-serial run does.
@@ -145,7 +250,96 @@ TEST_F(ParallelQueryTest, ErrorsSurfaceFromParallelIterations) {
   EXPECT_EQ(serial.status().message(), parallel.status().message());
 }
 
+TEST_F(ParallelQueryTest, MidSequenceErrorKeepsLowestBindingPrecedence) {
+  // Only some bindings fail, at two distinct error sites ($first for
+  // '.*ea.*' words, $second for other '.*o.*' words): the error the join
+  // reports must be the lowest-indexed failing binding's — whichever site
+  // that is in document order — not whichever slot recorded its event
+  // first under work-stealing.
+  const char* query =
+      "for $w in /descendant::w return "
+      "if (matches(string($w), '.*ea.*')) then $first "
+      "else if (matches(string($w), '.*o.*')) then $second "
+      "else string-length(string($w))";
+  auto serial = edition_->Query(query, Threads(1));
+  ASSERT_FALSE(serial.ok());  // the edition has both kinds of words
+  for (unsigned threads : {2u, 4u, 8u}) {
+    auto parallel = edition_->Query(query, Threads(threads));
+    ASSERT_FALSE(parallel.ok()) << "threads=" << threads;
+    EXPECT_EQ(parallel.status().code(), serial.status().code());
+    EXPECT_EQ(parallel.status().message(), serial.status().message())
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelQueryTest, QuantifierEventPrecedenceMatchesSerialExactly) {
+  // Deciders racing errors at different binding indices: the join must
+  // return exactly what the serial walk returns — the lowest-indexed
+  // deciding-or-failing binding wins, speculative later events are
+  // discarded.
+  const char* queries[] = {
+      // Decider (length > 0, binding 0) precedes the '.*ea.*' error
+      // bindings: must return true, never the speculative error.
+      "some $w in /descendant::w satisfies "
+      "(if (matches(string($w), '.*ea.*')) then $boom "
+      "else string-length(string($w)) > 0)",
+      // No decider exists (every length > 0 holds), so the first '.*ea.*'
+      // binding's error is the event: must error, with its message.
+      "every $w in /descendant::w satisfies "
+      "(if (matches(string($w), '.*ea.*')) then $boom "
+      "else string-length(string($w)) > 0)",
+      // Error site before most deciders: whichever comes first in binding
+      // order wins; serial defines it.
+      "some $w in /descendant::w satisfies "
+      "(if (matches(string($w), '.*o.*')) then $oops "
+      "else string-length(string($w)) > 8)",
+  };
+  for (const char* query : queries) {
+    auto serial = edition_->Query(query, Threads(1));
+    for (unsigned threads : {2u, 4u, 8u}) {
+      auto parallel = edition_->Query(query, Threads(threads));
+      ASSERT_EQ(parallel.ok(), serial.ok())
+          << query << "\nthreads=" << threads;
+      if (serial.ok()) {
+        EXPECT_EQ(*parallel, *serial) << query << "\nthreads=" << threads;
+      } else {
+        EXPECT_EQ(parallel.status().code(), serial.status().code());
+        EXPECT_EQ(parallel.status().message(), serial.status().message())
+            << query << "\nthreads=" << threads;
+      }
+    }
+  }
+}
+
 // --- IsParallelSafe --------------------------------------------------------
+
+// The classification is table-driven: this test pins every built-in's row,
+// so adding a function without deciding its parallel safety — or silently
+// flipping one — fails here first.
+TEST(IsParallelSafeTest, PinsEveryBuiltinClassification) {
+  struct Expected {
+    std::string_view name;
+    bool parallel_safe;
+  };
+  // analyze-string is safe because workers materialise temporaries into
+  // private sub-overlay namespaces merged at join; everything else is a
+  // pure value function.
+  const Expected expected[] = {
+      {"string", true},  {"string-length", true},
+      {"count", true},   {"name", true},
+      {"not", true},     {"true", true},
+      {"false", true},   {"matches", true},
+      {"analyze-string", true},
+  };
+  const auto& table = BuiltinFunctions();
+  ASSERT_EQ(table.size(), std::size(expected));
+  for (const Expected& e : expected) {
+    const BuiltinFunction* row = FindBuiltin(e.name);
+    ASSERT_NE(row, nullptr) << e.name;
+    EXPECT_EQ(row->parallel_safe, e.parallel_safe) << e.name;
+  }
+  EXPECT_EQ(FindBuiltin("no-such-function"), nullptr);
+}
 
 TEST(IsParallelSafeTest, ClassifiesSubtrees) {
   struct Case {
@@ -158,16 +352,20 @@ TEST(IsParallelSafeTest, ClassifiesSubtrees) {
       {"some $w in /descendant::w satisfies matches(string($w), 'a')", true},
       // Constructors are pure fragments here — parallel-safe.
       {"for $w in /descendant::w return <b>{$w}</b>", true},
-      // analyze-string materialises temporary hierarchies: unsafe...
-      {"analyze-string(/descendant::w, 'a')", false},
-      // ...wherever it hides: constructor content, predicates, attributes.
+      // analyze-string materialises its temporary hierarchies into
+      // worker-private sub-overlays now: safe anywhere a body can hide it —
+      // constructor content, predicates, attributes.
+      {"analyze-string(/descendant::w, 'a')", true},
       {"for $w in /descendant::w return "
        "<r>{analyze-string($w, 'a')}</r>",
-       false},
-      {"count(/descendant::w[analyze-string(., 'a')])", false},
+       true},
+      {"count(/descendant::w[analyze-string(., 'a')])", true},
       {"for $w in /descendant::w return "
        "<r id=\"{analyze-string($w, 'a')}\"/>",
-       false},
+       true},
+      // Unknown function names stay conservatively unsafe.
+      {"for $w in /descendant::w return mystery($w)", false},
+      {"some $w in /descendant::w satisfies mystery($w)", false},
   };
   for (const Case& c : cases) {
     auto expr = ParseQuery(c.query);
