@@ -1,0 +1,235 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// The corpus-service acceptance lane: closed-loop mixed query traffic over
+// many generated editions through one CorpusService — the ROADMAP's
+// production shape. Client threads issue the four Section 4 query shapes
+// in realistic ratios (I.1 40%, I.2 25%, II.1 25%, III.1 10%) against 10
+// deterministic editions; every sampled result is verified byte-identical
+// to a serial reference computed on an independently built copy of the
+// same edition, so the timings are of *correct* executions — shared plan
+// cache, shared pool, LRU eviction and admission control included.
+//
+// Queries are the edition-generic forms of the paper's Section 4 queries
+// (the verbatim I.1/II.1 texts pin words of the Figure 1 text that a
+// generated edition does not contain; the shapes — overlap-aware line
+// selection, leaf-walk highlighting, analyze-string() re-partitioning,
+// restoration italics — are identical, matching the scaled scenarios of
+// bench_paper_queries.cc).
+//
+// Counters per lane: latency percentiles p50/p95/p99 (µs, from the
+// lock-free base::LatencyHistogram), qps (rate), plan_hit_rate (process-
+// wide PlanCache, cross-document), builds and evictions (LRU churn; the
+// capacity-6 lane forces steady-state eviction, capacity-10 is
+// churn-free after warm-up).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/histogram.h"
+#include "corpus/corpus.h"
+#include "workload/generator.h"
+
+namespace {
+
+using mhx::corpus::CorpusOptions;
+using mhx::corpus::CorpusService;
+
+constexpr size_t kEditions = 10;
+constexpr size_t kClients = 4;
+constexpr size_t kOpsPerIteration = 64;  // per benchmark iteration, total
+
+// The four Section 4 query shapes, edition-generic.
+const char* const kQueries[] = {
+    // I.1: lines containing a matching word, overlap-aware.
+    R"(
+for $l in /descendant::line[xdescendant::w[matches(string(.), ".*ea.*")] or
+                            overlapping::w[matches(string(.), ".*ea.*")]]
+return <line>{string($l)}</line>)",
+    // I.2: every line with damaged words highlighted, walking shared
+    // leaves.
+    R"(
+for $l in /descendant::line
+return (
+  for $leaf in $l/descendant::leaf()
+  return
+    if ($leaf[ancestor::w[xancestor::dmg or xdescendant::dmg or
+                          overlapping::dmg]])
+    then <b>{$leaf}</b>
+    else $leaf
+  , <br/> ))",
+    // II.1: analyze-string() over matching words, match spans emphasised
+    // per leaf (the analyze-string-heavy class, admission-controlled).
+    R"(
+for $w in /descendant::w[matches(string(.), ".*ea.*")]
+return (
+  let $r := analyze-string($w, ".*ea.*")
+  return
+    for $leaf in $r/descendant::leaf()
+    return if ($leaf/xancestor::m) then <b>{$leaf}</b> else $leaf
+  , <br/> ))",
+    // III.1: restored text in italics.
+    R"(
+for $leaf in /descendant::leaf()
+return if ($leaf/xancestor::res) then <i>{$leaf}</i> else $leaf)",
+};
+
+// Cumulative percentage thresholds for the I.1/I.2/II.1/III.1 mix.
+constexpr int kMixThresholds[] = {40, 65, 90, 100};
+
+mhx::workload::EditionConfig EditionConfigFor(size_t i) {
+  mhx::workload::EditionConfig config;
+  config.seed = 101 + i;
+  config.word_count = 140;
+  config.chars_per_line = 32;
+  config.damage_coverage = 0.12;
+  config.restoration_coverage = 0.15;
+  return config;
+}
+
+std::string EditionName(size_t i) {
+  return "edition-" + std::to_string(i);
+}
+
+void VerifyOrAbort(bool ok, const char* what) {
+  if (!ok) {
+    fprintf(stderr, "verification failed: %s\n", what);
+    std::abort();
+  }
+}
+
+// splitmix64: deterministic per-op choice of edition and query, identical
+// across lanes and runs.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct Op {
+  size_t edition;
+  size_t query;
+};
+
+Op OpFor(uint64_t index) {
+  const uint64_t h = Mix(index);
+  const int roll = static_cast<int>(h % 100);
+  size_t query = 0;
+  while (roll >= kMixThresholds[query]) ++query;
+  return Op{static_cast<size_t>((h >> 32) % kEditions), query};
+}
+
+// The serial single-document reference: every (edition, query) result,
+// computed once per process on documents built independently of any
+// CorpusService (no shared cache, no shared pool, serial evaluation).
+const std::string& Expected(size_t edition, size_t query) {
+  static auto* cache = new std::map<std::pair<size_t, size_t>, std::string>();
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  const auto key = std::make_pair(edition, query);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    auto doc = mhx::workload::BuildEditionDocument(EditionConfigFor(edition));
+    VerifyOrAbort(doc.ok(), "reference edition build");
+    auto out = doc->Query(kQueries[query]);
+    VerifyOrAbort(out.ok(), "reference query");
+    it = cache->emplace(key, std::move(out).value()).first;
+  }
+  return it->second;
+}
+
+// One closed-loop lane: kClients threads drive the mixed workload through
+// a fresh CorpusService. Args: {capacity, query_threads}.
+void BM_CorpusMixed(benchmark::State& state) {
+  const size_t capacity = static_cast<size_t>(state.range(0));
+  const unsigned query_threads = static_cast<unsigned>(state.range(1));
+
+  CorpusOptions options;
+  options.capacity = capacity;
+  options.pool_threads = query_threads > 1 ? 4 : 0;
+  // Sized so the bench itself never sees backpressure (rejections are
+  // pinned behaviour in corpus_test); admission still serialises the heavy
+  // class down to 2 concurrent analyze-string queries.
+  options.max_heavy_in_flight = 2;
+  options.heavy_queue_limit = kClients * 4;
+  CorpusService corpus(options);
+  for (size_t i = 0; i < kEditions; ++i) {
+    VerifyOrAbort(corpus.Register(EditionName(i), EditionConfigFor(i)).ok(),
+                  "register edition");
+  }
+
+  mhx::QueryOptions query_options;
+  query_options.threads = query_threads;
+
+  // Pre-warm the serial reference for every (edition, query) pair so the
+  // timed loop's verification is a map lookup, not a document build.
+  for (size_t e = 0; e < kEditions; ++e) {
+    for (size_t q = 0; q < 4; ++q) Expected(e, q);
+  }
+
+  mhx::base::LatencyHistogram latency;
+  uint64_t next_op = 0;
+  for (auto _ : state) {
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      const uint64_t begin = next_op + c * (kOpsPerIteration / kClients);
+      const uint64_t end = begin + kOpsPerIteration / kClients;
+      clients.emplace_back([&, begin, end] {
+        for (uint64_t i = begin; i < end; ++i) {
+          const Op op = OpFor(i);
+          const auto start = std::chrono::steady_clock::now();
+          auto out = corpus.Query(EditionName(op.edition),
+                                  kQueries[op.query], query_options);
+          const auto stop = std::chrono::steady_clock::now();
+          latency.Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(stop -
+                                                                    start)
+                  .count()));
+          if (!out.ok() || *out != Expected(op.edition, op.query)) {
+            ++failures;
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    next_op += kOpsPerIteration;
+    VerifyOrAbort(failures.load() == 0,
+                  "corpus result == serial single-document reference");
+  }
+
+  const CorpusService::Stats stats = corpus.stats();
+  VerifyOrAbort(stats.heavy_rejections == 0,
+                "no admission rejections at bench sizing");
+  state.counters["p50_us"] =
+      static_cast<double>(latency.ValueAtQuantile(0.50));
+  state.counters["p95_us"] =
+      static_cast<double>(latency.ValueAtQuantile(0.95));
+  state.counters["p99_us"] =
+      static_cast<double>(latency.ValueAtQuantile(0.99));
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(latency.count()), benchmark::Counter::kIsRate);
+  const double lookups =
+      static_cast<double>(stats.plan_hits + stats.plan_misses);
+  state.counters["plan_hit_rate"] =
+      lookups > 0 ? static_cast<double>(stats.plan_hits) / lookups : 0.0;
+  state.counters["builds"] = static_cast<double>(stats.builds);
+  state.counters["evictions"] = static_cast<double>(stats.evictions);
+}
+BENCHMARK(BM_CorpusMixed)
+    ->Args({10, 1})  // all editions resident: plan-cache + pool sharing
+    ->Args({6, 1})   // capacity < editions: steady-state LRU churn
+    ->Args({10, 2})  // intra-query fan-out through the shared pool
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "base/histogram.h"
+
+#include <cmath>
+
+namespace mhx::base {
+
+LatencyHistogram::LatencyHistogram() {
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t LatencyHistogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  // msb >= 4 here. The sub-bucket is the 4 bits below the leading one, so
+  // [2^msb, 2^(msb+1)) maps linearly onto 16 consecutive buckets.
+  const int msb = 63 - __builtin_clzll(value);
+  const size_t sub = static_cast<size_t>(value >> (msb - 4)) & 15u;
+  return kSubBuckets + static_cast<size_t>(msb - 4) * kSubBuckets + sub;
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t bucket) {
+  if (bucket < kSubBuckets) return static_cast<uint64_t>(bucket);
+  const size_t range = (bucket - kSubBuckets) / kSubBuckets;
+  const size_t sub = (bucket - kSubBuckets) % kSubBuckets;
+  const int msb = static_cast<int>(range) + 4;
+  // Last value of the sub-bucket: leading one, the 4 sub-bucket bits, and
+  // all lower bits set.
+  const uint64_t base = (uint64_t{1} << msb) |
+                        (static_cast<uint64_t>(sub) << (msb - 4));
+  return base | ((uint64_t{1} << (msb - 4)) - 1);
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::ValueAtQuantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  // Concurrent Record() between the count() snapshot and the walk can
+  // leave rank past the walked sum; the largest seen value is the honest
+  // answer.
+  return max();
+}
+
+}  // namespace mhx::base

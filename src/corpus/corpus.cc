@@ -1,0 +1,223 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "corpus/corpus.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "base/status_macros.h"
+#include "xquery/ast.h"
+
+namespace mhx::corpus {
+
+// --- AdmissionController ----------------------------------------------------
+
+Status AdmissionController::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (in_flight_ < slots_) {
+    ++in_flight_;
+    return OkStatus();
+  }
+  // Full. Queue if the bounded queue has room, else push back immediately.
+  if (waiting_ >= queue_limit_ || slots_ == 0) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return ResourceExhaustedError(
+        "analyze-string admission queue full (" +
+        std::to_string(in_flight_) + " in flight, " +
+        std::to_string(waiting_) + " waiting)");
+  }
+  ++waiting_;
+  cv_.wait(lock, [&] { return in_flight_ < slots_; });
+  --waiting_;
+  ++in_flight_;
+  return OkStatus();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  cv_.notify_one();
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+namespace {
+// Pairs every Ok Acquire with a Release on all exit paths of Query.
+class AdmissionTicket {
+ public:
+  explicit AdmissionTicket(AdmissionController* controller)
+      : controller_(controller) {}
+  ~AdmissionTicket() {
+    if (controller_ != nullptr) controller_->Release();
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+ private:
+  AdmissionController* controller_;
+};
+}  // namespace
+
+// --- CorpusService ----------------------------------------------------------
+
+CorpusService::CorpusService(const CorpusOptions& options)
+    : capacity_(std::max<size_t>(options.capacity, 1)),
+      shard_count_(std::max<size_t>(options.shard_count, 1)),
+      plans_(std::make_shared<xquery::PlanCache>(options.plan_shards)),
+      pool_(options.pool_threads > 0
+                ? std::make_shared<base::ThreadPool>(options.pool_threads)
+                : nullptr),
+      heavy_admission_(options.max_heavy_in_flight,
+                       options.heavy_queue_limit),
+      shards_(new Shard[shard_count_]) {}
+
+CorpusService::~CorpusService() = default;
+
+CorpusService::Shard& CorpusService::ShardFor(std::string_view name) const {
+  return shards_[std::hash<std::string_view>{}(name) % shard_count_];
+}
+
+Status CorpusService::Register(std::string name,
+                               const workload::EditionConfig& config) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(name);
+  if (it != shard.entries.end()) {
+    return InvalidArgumentError("document '" + name + "' already registered");
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->config = config;
+  shard.entries.emplace(std::move(name), std::move(entry));
+  return OkStatus();
+}
+
+CorpusService::Entry* CorpusService::FindEntry(std::string_view name) const {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // C++17 unordered_map has no heterogeneous lookup; registration and
+  // lookup are off the query hot path enough that one key copy is fine.
+  auto it = shard.entries.find(std::string(name));
+  return it == shard.entries.end() ? nullptr : it->second.get();
+}
+
+StatusOr<std::shared_ptr<MultihierarchicalDocument>> CorpusService::Resident(
+    Entry* entry) {
+  {
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    if (entry->doc != nullptr) {
+      lru_.splice(lru_.begin(), lru_, entry->lru_it);  // touch
+      return entry->doc;
+    }
+  }
+  // Cold. One builder per entry; latecomers block here, then find the doc
+  // resident on re-check.
+  std::lock_guard<std::mutex> build_lock(entry->build_mu);
+  {
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    if (entry->doc != nullptr) {
+      lru_.splice(lru_.begin(), lru_, entry->lru_it);
+      return entry->doc;
+    }
+  }
+  // Build outside lru_mu_ — builds are the expensive part and must not
+  // block queries against resident documents.
+  auto built = workload::BuildEditionDocument(entry->config);
+  if (!built.ok()) return built.status();
+  auto doc = std::make_shared<MultihierarchicalDocument>(
+      std::move(built).value());
+  MHX_RETURN_IF_ERROR(doc->ConfigureEngine(plans_, pool_));
+
+  std::vector<std::shared_ptr<MultihierarchicalDocument>> evicted;
+  {
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    entry->doc = doc;
+    lru_.push_front(entry);
+    entry->lru_it = lru_.begin();
+    ++entry->builds;
+    ++builds_;
+    while (lru_.size() > capacity_) {
+      Entry* victim = lru_.back();
+      lru_.pop_back();
+      // Defer the drop: destroying a document (its engine joins worker
+      // pools, frees the goddag) should not run under lru_mu_.
+      evicted.push_back(std::move(victim->doc));
+      victim->doc = nullptr;
+      ++evictions_;
+    }
+  }
+  evicted.clear();  // may destroy documents; in-flight pins keep theirs
+  return doc;
+}
+
+StatusOr<std::string> CorpusService::Query(std::string_view doc_name,
+                                           std::string_view query,
+                                           const QueryOptions& options) {
+  Entry* entry = FindEntry(doc_name);
+  if (entry == nullptr) {
+    return NotFoundError("document '" + std::string(doc_name) +
+                         "' is not registered");
+  }
+  // Classify before touching the document: the shared-cache Prepare both
+  // surfaces parse errors early and guarantees the engine's own Prepare is
+  // a hit.
+  MHX_ASSIGN_OR_RETURN(const xquery::Expr* plan, plans_->Prepare(query));
+  const bool heavy = xquery::ContainsAnalyzeString(plan->root());
+  std::unique_ptr<AdmissionTicket> ticket;
+  if (heavy) {
+    // Admission happens on the caller's thread, never on a pool worker, so
+    // a full heavy queue can never stall the fan-out pool itself.
+    MHX_RETURN_IF_ERROR(heavy_admission_.Acquire());
+    ticket = std::make_unique<AdmissionTicket>(&heavy_admission_);
+  }
+  MHX_ASSIGN_OR_RETURN(std::shared_ptr<MultihierarchicalDocument> doc,
+                       Resident(entry));
+  // `doc` pins the document: eviction can drop the service's reference at
+  // any time without freeing it under this evaluation.
+  return doc->Query(query, options);
+}
+
+StatusOr<std::shared_ptr<const MultihierarchicalDocument>> CorpusService::Pin(
+    std::string_view doc_name) {
+  Entry* entry = FindEntry(doc_name);
+  if (entry == nullptr) {
+    return NotFoundError("document '" + std::string(doc_name) +
+                         "' is not registered");
+  }
+  MHX_ASSIGN_OR_RETURN(std::shared_ptr<MultihierarchicalDocument> doc,
+                       Resident(entry));
+  return std::shared_ptr<const MultihierarchicalDocument>(std::move(doc));
+}
+
+CorpusService::Stats CorpusService::stats() const {
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    stats.resident_documents = lru_.size();
+    stats.builds = builds_;
+    stats.evictions = evictions_;
+  }
+  stats.plan_hits = plans_->hits();
+  stats.plan_misses = plans_->misses();
+  stats.heavy_rejections = heavy_admission_.rejected();
+  stats.heavy_in_flight = heavy_admission_.in_flight();
+  return stats;
+}
+
+StatusOr<size_t> CorpusService::BuildCount(std::string_view doc_name) const {
+  Entry* entry = FindEntry(doc_name);
+  if (entry == nullptr) {
+    return NotFoundError("document '" + std::string(doc_name) +
+                         "' is not registered");
+  }
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  return entry->builds;
+}
+
+}  // namespace mhx::corpus

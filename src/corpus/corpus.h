@@ -1,0 +1,189 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// The corpus service: one process serving mixed query traffic over many
+// named editions — the ROADMAP's "millions of users" shape. A
+// CorpusService owns a sharded map of named documents (deterministic
+// workload/ editions), builds them lazily on first query, keeps at most
+// `capacity` resident behind an LRU, and runs every query through shared
+// process-wide resources: one xquery::PlanCache (each distinct query text
+// parses once no matter how many editions it runs against) and one
+// base::ThreadPool for intra-query fan-out.
+//
+// Locking, outermost first:
+//   shard.mu     name -> entry lookup; entries are never erased, so an
+//                Entry* is stable once found.
+//   entry.build_mu  serialises builds of one document; concurrent callers
+//                of a cold document wait here while exactly one builds.
+//   lru_mu_      residency pointers + the LRU list + build/eviction
+//                counters. Eviction happens entirely under lru_mu_ and
+//                never takes a victim's build_mu, so the order is acyclic.
+//
+// Eviction vs. in-flight queries: a query pins its document with a
+// shared_ptr before evaluating, so evicting the entry (dropping the
+// service's reference) never frees a document mid-query — the pin does,
+// when the last query returns. KeptTemporaries handles outlive eviction
+// the same way they outlive engine death: they hold a weak registry and
+// simply become inert (see xquery/engine.h).
+//
+// Admission control: queries whose plan ContainsAnalyzeString are "heavy"
+// (they materialise temporary hierarchies and dominate evaluation cost).
+// At most `max_heavy_in_flight` run at once; up to `heavy_queue_limit`
+// more wait on a condition variable; beyond that Query returns
+// ResourceExhausted immediately — backpressure the caller can see —
+// so cheap path queries (never queued) aren't starved behind a wall of
+// analyze-string work.
+
+#ifndef MHX_CORPUS_CORPUS_H_
+#define MHX_CORPUS_CORPUS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/statusor.h"
+#include "base/thread_pool.h"
+#include "document.h"
+#include "workload/generator.h"
+#include "xquery/plan_cache.h"
+
+namespace mhx::corpus {
+
+struct CorpusOptions {
+  // Maximum resident (built) documents; clamped to at least 1. Eviction is
+  // strict LRU by last query.
+  size_t capacity = 8;
+  // Shards for the name -> document map.
+  size_t shard_count = 8;
+  // Workers in the shared fan-out pool handed to every engine. 0 means no
+  // shared pool is injected and each engine falls back to growing its own
+  // private pool — the pre-corpus behaviour.
+  size_t pool_threads = 4;
+  // Concurrent analyze-string-heavy queries admitted; 0 rejects them all.
+  size_t max_heavy_in_flight = 4;
+  // Heavy queries allowed to wait for a slot before ResourceExhausted.
+  size_t heavy_queue_limit = 16;
+  // Shards of the process-wide PlanCache.
+  size_t plan_shards = 16;
+};
+
+// Bounded-queue admission for one class of expensive work. Acquire either
+// returns OkStatus() holding a slot (possibly after waiting in the bounded
+// queue) or ResourceExhausted without blocking further; every Ok Acquire
+// must be paired with Release.
+class AdmissionController {
+ public:
+  AdmissionController(size_t slots, size_t queue_limit)
+      : slots_(slots), queue_limit_(queue_limit) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  Status Acquire();
+  void Release();
+
+  size_t in_flight() const;
+  size_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t slots_;
+  const size_t queue_limit_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t in_flight_ = 0;
+  size_t waiting_ = 0;
+  std::atomic<size_t> rejected_{0};
+};
+
+class CorpusService {
+ public:
+  // Point-in-time counters; exact once traffic quiesces.
+  struct Stats {
+    size_t resident_documents = 0;
+    size_t builds = 0;      // documents built (re-builds after eviction too)
+    size_t evictions = 0;
+    size_t plan_hits = 0;   // process-wide PlanCache, all documents
+    size_t plan_misses = 0;
+    size_t heavy_rejections = 0;
+    size_t heavy_in_flight = 0;
+  };
+
+  explicit CorpusService(const CorpusOptions& options);
+  ~CorpusService();
+
+  CorpusService(const CorpusService&) = delete;
+  CorpusService& operator=(const CorpusService&) = delete;
+
+  // Registers a named edition to be built on first use. InvalidArgument if
+  // the name is taken.
+  Status Register(std::string name, const workload::EditionConfig& config);
+
+  // Evaluates `query` against the named document: classify (heavy queries
+  // go through admission first), pin the document — building or re-building
+  // it if cold, evicting the LRU victim if that overflows capacity — and
+  // evaluate through the shared plan cache and pool. NotFound for an
+  // unregistered name; parse errors surface before any document is built;
+  // ResourceExhausted is admission backpressure.
+  StatusOr<std::string> Query(std::string_view doc_name,
+                              std::string_view query,
+                              const QueryOptions& options = {});
+
+  // Pins the named document resident (building it if needed) and returns
+  // the pin. The document stays alive while the caller holds it, even
+  // across eviction; holding a pin does not block eviction.
+  StatusOr<std::shared_ptr<const MultihierarchicalDocument>> Pin(
+      std::string_view doc_name);
+
+  Stats stats() const;
+
+  // How many times the named document has been built (0 = never, 2+ =
+  // rebuilt after eviction). NotFound for an unregistered name.
+  StatusOr<size_t> BuildCount(std::string_view doc_name) const;
+
+  const std::shared_ptr<xquery::PlanCache>& plans() const { return plans_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    workload::EditionConfig config;
+    std::mutex build_mu;  // serialises BuildEditionDocument for this entry
+    // --- guarded by lru_mu_ ---
+    std::shared_ptr<MultihierarchicalDocument> doc;  // null when cold
+    std::list<Entry*>::iterator lru_it;  // valid iff doc != nullptr
+    size_t builds = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Entry>> entries;
+  };
+
+  Shard& ShardFor(std::string_view name) const;
+  Entry* FindEntry(std::string_view name) const;
+  // The pin: returns entry->doc, building it first when cold.
+  StatusOr<std::shared_ptr<MultihierarchicalDocument>> Resident(Entry* entry);
+
+  const size_t capacity_;
+  const size_t shard_count_;
+  std::shared_ptr<xquery::PlanCache> plans_;
+  std::shared_ptr<base::ThreadPool> pool_;  // null when pool_threads == 0
+  AdmissionController heavy_admission_;
+  std::unique_ptr<Shard[]> shards_;
+
+  mutable std::mutex lru_mu_;
+  // Front = most recently used. Only resident entries are listed.
+  std::list<Entry*> lru_;
+  size_t builds_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace mhx::corpus
+
+#endif  // MHX_CORPUS_CORPUS_H_

@@ -59,9 +59,23 @@ StatusOr<std::string> MultihierarchicalDocument::Query(
 xquery::Engine* MultihierarchicalDocument::engine() const {
   std::lock_guard<std::mutex> lock(*engine_mu_);
   if (engine_ == nullptr) {
-    engine_ = std::make_unique<xquery::Engine>(this);
+    engine_ = std::make_unique<xquery::Engine>(this, engine_plans_,
+                                               engine_pool_);
   }
   return engine_.get();
+}
+
+Status MultihierarchicalDocument::ConfigureEngine(
+    std::shared_ptr<xquery::PlanCache> plans,
+    std::shared_ptr<base::ThreadPool> pool) const {
+  std::lock_guard<std::mutex> lock(*engine_mu_);
+  if (engine_ != nullptr) {
+    return FailedPreconditionError(
+        "ConfigureEngine must run before the engine is created");
+  }
+  engine_plans_ = std::move(plans);
+  engine_pool_ = std::move(pool);
+  return OkStatus();
 }
 
 }  // namespace mhx

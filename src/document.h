@@ -68,6 +68,8 @@ class MultihierarchicalDocument {
   MultihierarchicalDocument(MultihierarchicalDocument&& other) noexcept
       : goddag_(std::move(other.goddag_)),
         engine_(std::move(other.engine_)),
+        engine_plans_(std::move(other.engine_plans_)),
+        engine_pool_(std::move(other.engine_pool_)),
         engine_mu_(std::move(other.engine_mu_)) {
     if (engine_ != nullptr) engine_->Rebind(this);
   }
@@ -75,6 +77,8 @@ class MultihierarchicalDocument {
       MultihierarchicalDocument&& other) noexcept {
     goddag_ = std::move(other.goddag_);
     engine_ = std::move(other.engine_);
+    engine_plans_ = std::move(other.engine_plans_);
+    engine_pool_ = std::move(other.engine_pool_);
     engine_mu_ = std::move(other.engine_mu_);
     if (engine_ != nullptr) engine_->Rebind(this);
     return *this;
@@ -111,6 +115,14 @@ class MultihierarchicalDocument {
   // thread-safe).
   xquery::Engine* engine() const;
 
+  // Corpus injection seam: arranges for the lazily created engine to share
+  // a process-wide PlanCache and fan-out ThreadPool instead of growing its
+  // own (either may be null to keep the engine-private default). Fails with
+  // FailedPrecondition once the engine exists — the corpus service calls
+  // this right after Build, before any query.
+  Status ConfigureEngine(std::shared_ptr<xquery::PlanCache> plans,
+                         std::shared_ptr<base::ThreadPool> pool) const;
+
  private:
   explicit MultihierarchicalDocument(std::unique_ptr<goddag::KyGoddag> g)
       : goddag_(std::move(g)),
@@ -120,6 +132,9 @@ class MultihierarchicalDocument {
   // invalidate &goddag() or engine() held by evaluators and benchmarks.
   std::unique_ptr<goddag::KyGoddag> goddag_;
   mutable std::unique_ptr<xquery::Engine> engine_;
+  // Held until the engine is created (ConfigureEngine), then passed to it.
+  mutable std::shared_ptr<xquery::PlanCache> engine_plans_;
+  mutable std::shared_ptr<base::ThreadPool> engine_pool_;
   // Guards lazy engine creation under concurrent Query calls. Behind a
   // pointer because mutexes are not movable but the document is.
   mutable std::unique_ptr<std::mutex> engine_mu_;

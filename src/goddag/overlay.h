@@ -51,14 +51,14 @@ inline constexpr HierarchyId kOverlayHierarchy = static_cast<HierarchyId>(-1);
 // appear together in one OverlayView must draw from the same allocator (the
 // XQuery engine owns one per engine, shared with every overlay it creates
 // so an overlay kept alive past the engine still releases safely). The
-// namespace holds 2^31 - 1 ids; blocks are handed out monotonically and
-// reclaimed by tail rewind: releasing the highest leased block (or one
-// adjacent to already-released tail blocks) pulls the cursor back, so
-// steady-state churn — even with a long-lived kept block pinned low in the
-// namespace — reuses the same ids instead of walking off the end.
-// Exhaustion therefore requires ~2^31 overlay nodes in *live* blocks (plus
-// any released blocks sandwiched under live ones, which are reclaimed as
-// soon as the blocks above them go).
+// namespace holds 2^31 - 1 ids; blocks come from a first-fit scan of the
+// free list (released holes, coalesced when adjacent) and only then from
+// the monotonic tail cursor. Reclamation is two-tier: tail rewind pulls
+// the cursor back over a released suffix, and holes sandwiched under
+// live blocks — the corpus reality of many long-lived engines sharing one
+// process — are reused directly by first fit instead of waiting for the
+// blocks above them to go. Exhaustion therefore requires ~2^31 overlay
+// nodes in *live* blocks plus unfillable fragmentation slack.
 class OverlayIdAllocator {
  public:
   // Leases a block of `count` ids and returns its first id (overlay bit

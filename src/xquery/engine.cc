@@ -1213,23 +1213,16 @@ class Evaluator {
 
   StatusOr<const regex::Regex*> CompiledRegex(const std::string& pattern,
                                               size_t offset) {
-    // Parallel workers hit this cache concurrently (matches() and
-    // analyze-string() are parallel-safe); entries are address-stable
-    // behind unique_ptr, so the returned pointer outlives the lock. The
-    // hit path is one unordered hash lookup — no allocation, no O(log n)
-    // full-string compares under cache_mu_.
-    {
-      std::lock_guard<std::mutex> lock(engine_->cache_mu_);
-      auto it = engine_->regex_cache_.find(pattern);
-      if (it != engine_->regex_cache_.end()) return &it->second->value;
-    }
-    auto compiled = regex::Regex::Compile(pattern);  // outside the lock
+    // Parallel workers hit the shared PlanCache concurrently (matches()
+    // and analyze-string() are parallel-safe); cached programs are
+    // address-stable for the cache's lifetime, which the engine pins via
+    // shared_ptr. Compile errors are anchored to this call site's source
+    // offset.
+    auto compiled = engine_->plans_->CompileRegex(pattern);
     if (!compiled.ok()) {
       return EvalErrorAt(offset, compiled.status().message());
     }
-    std::lock_guard<std::mutex> lock(engine_->cache_mu_);
-    return &internal::StringCacheFindOrEmplace(
-        engine_->regex_cache_, pattern, std::move(compiled).value());
+    return compiled.value();
   }
 
   // The paper's analyze-string(): match a fragment pattern against the
@@ -1413,7 +1406,15 @@ class Evaluator {
 // --- Engine ----------------------------------------------------------------
 
 Engine::Engine(const MultihierarchicalDocument* document)
-    : document_(document) {}
+    : Engine(document, nullptr, nullptr) {}
+
+Engine::Engine(const MultihierarchicalDocument* document,
+               std::shared_ptr<PlanCache> plans,
+               std::shared_ptr<base::ThreadPool> shared_pool)
+    : document_(document),
+      plans_(plans != nullptr ? std::move(plans)
+                              : std::make_shared<PlanCache>()),
+      shared_pool_(std::move(shared_pool)) {}
 
 Engine::~Engine() = default;
 
@@ -1452,23 +1453,15 @@ Engine::SnapshotKept() const {
 }
 
 StatusOr<const Expr*> Engine::PreparedQuery(std::string_view query) {
-  {
-    // Repeat queries hit here: one string_view hash lookup under
-    // cache_mu_, no allocation (see internal::StringCache).
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = query_cache_.find(query);
-    if (it != query_cache_.end()) return it->second->value.get();
-  }
-  auto parsed = ParseQuery(query);  // outside the lock
-  if (!parsed.ok()) return parsed.status();
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  return internal::StringCacheFindOrEmplace(query_cache_, std::string(query),
-                                            std::move(parsed).value())
-      .get();
+  return plans_->Prepare(query);
 }
 
 base::ThreadPool* Engine::pool(unsigned threads) {
   if (threads <= 1) return nullptr;
+  // A corpus-injected pool is shared by every engine in the service; it is
+  // never grown — work-stealing joins help drain, so evaluation is correct
+  // (just less parallel) when the pool is smaller than `threads`.
+  if (shared_pool_ != nullptr) return shared_pool_.get();
   std::lock_guard<std::mutex> lock(cache_mu_);
   if (pool_ == nullptr || pool_->size() < threads) {
     // Never destroy a pool another evaluation may still be running on:

@@ -88,8 +88,8 @@
 #include "base/thread_pool.h"
 #include "goddag/kygoddag.h"
 #include "goddag/overlay.h"
-#include "regex/regex.h"
 #include "xpath/axes.h"
+#include "xquery/plan_cache.h"
 
 namespace mhx {
 class MultihierarchicalDocument;
@@ -124,42 +124,6 @@ struct KeptRegistry {
   std::mutex mu;
   std::vector<std::shared_ptr<const goddag::GoddagOverlay>> overlays;
 };
-
-// A string-keyed cache entry whose key the map's string_view key points
-// into: C++17 has no heterogeneous unordered_map lookup, so the key type
-// *is* string_view and each entry owns its key's storage. Entries live
-// behind unique_ptr, so rehashing moves pointers only and mapped values
-// stay address-stable for the engine's lifetime.
-template <typename T>
-struct CacheEntry {
-  std::string key;
-  T value;
-};
-
-// Hot-path lookup by string_view hashes once and compares at most a
-// bucket's worth of equal-hash keys — no allocation, no O(log n) chain of
-// full-string compares (the former std::map).
-template <typename T>
-using StringCache =
-    std::unordered_map<std::string_view, std::unique_ptr<CacheEntry<T>>>;
-
-// The insert half of the double-checked cache idiom, caller holding the
-// cache's mutex: re-find (a racing builder of the same key keeps the first
-// entry), else move `value` into a new entry whose map key aliases the
-// entry's own string. Returns the cached value, address-stable for the
-// cache's lifetime.
-template <typename T>
-T& StringCacheFindOrEmplace(StringCache<T>& cache, std::string key,
-                            T value) {
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    auto entry = std::unique_ptr<CacheEntry<T>>(
-        new CacheEntry<T>{std::move(key), std::move(value)});
-    const std::string_view entry_key = entry->key;
-    it = cache.emplace(entry_key, std::move(entry)).first;
-  }
-  return it->second->value;
-}
 }  // namespace internal
 
 // Move-only handle returned by EvaluateKeepingTemporaries: it keeps that
@@ -209,6 +173,22 @@ struct KeptEvaluation {
 class Engine {
  public:
   explicit Engine(const MultihierarchicalDocument* document);
+
+  // Cache- and pool-injection seam, used by the corpus service so every
+  // engine in a process shares one compiled-plan cache (queries compile
+  // once across all documents) and one fan-out ThreadPool (a corpus of N
+  // documents must not spawn N pools). Either may be null: a null `plans`
+  // gets a private PlanCache (the single-document default), a null
+  // `shared_pool` keeps the engine growing its own pool on demand. An
+  // injected pool is used as-is — the engine never grows it; requesting
+  // QueryOptions{threads} above its size just caps the helper count (the
+  // work-stealing scheduler already tolerates fewer workers than slots,
+  // and nested fan-out on a shared pool stays deadlock-free because
+  // joins only wait for claimed bindings and help drain the queue).
+  Engine(const MultihierarchicalDocument* document,
+         std::shared_ptr<PlanCache> plans,
+         std::shared_ptr<base::ThreadPool> shared_pool);
+
   ~Engine();
 
   // Evaluates a query and serialises the result sequence (items are
@@ -321,14 +301,15 @@ class Engine {
   // Kept temporary hierarchies; evaluations snapshot this into their view.
   std::shared_ptr<internal::KeptRegistry> kept_ =
       std::make_shared<internal::KeptRegistry>();
-  // Prepared-query and compiled-pattern caches (documents are immutable
-  // after Build, so both stay valid for the engine's lifetime). Guarded by
-  // cache_mu_; the mapped values live at stable addresses (see
-  // internal::StringCache).
-  internal::StringCache<std::unique_ptr<Expr>> query_cache_;
-  internal::StringCache<regex::Regex> regex_cache_;
+  // Prepared-query and compiled-pattern cache: the corpus-shared PlanCache
+  // when one was injected, else a private one. shared_ptr because cached
+  // Expr/Regex pointers must outlive any engine still evaluating them.
+  std::shared_ptr<PlanCache> plans_;
+  // Corpus-shared fan-out pool; when set, pool() returns it instead of
+  // growing pool_.
+  std::shared_ptr<base::ThreadPool> shared_pool_;
 
-  // Guards query_cache_, regex_cache_, pool_ creation, and axes_ creation.
+  // Guards pool_ creation and axes_ creation.
   std::mutex cache_mu_;
   std::unique_ptr<base::ThreadPool> pool_;
   // Pools superseded by a larger request; kept alive (idle) because an

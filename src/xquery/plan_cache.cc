@@ -1,0 +1,66 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "xquery/plan_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace mhx::xquery {
+
+PlanCache::PlanCache(size_t shard_count)
+    : shard_count_(std::max<size_t>(shard_count, 1)),
+      shards_(new Shard[shard_count_]) {}
+
+PlanCache::Shard& PlanCache::ShardFor(std::string_view key) {
+  return shards_[std::hash<std::string_view>{}(key) % shard_count_];
+}
+
+StatusOr<const Expr*> PlanCache::Prepare(std::string_view query) {
+  Shard& shard = ShardFor(query);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.plans.find(query);
+    if (it != shard.plans.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->value.get();
+    }
+  }
+  auto parsed = ParseQuery(query);  // outside the lock
+  if (!parsed.ok()) return parsed.status();
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return internal::StringCacheFindOrEmplace(shard.plans, std::string(query),
+                                            std::move(parsed).value())
+      .get();
+}
+
+StatusOr<const regex::Regex*> PlanCache::CompileRegex(
+    std::string_view pattern) {
+  Shard& shard = ShardFor(pattern);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.regexes.find(pattern);
+    if (it != shard.regexes.end()) {
+      regex_hits_.fetch_add(1, std::memory_order_relaxed);
+      return &it->second->value;
+    }
+  }
+  auto compiled = regex::Regex::Compile(pattern);  // outside the lock
+  if (!compiled.ok()) return compiled.status();
+  regex_misses_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return &internal::StringCacheFindOrEmplace(
+      shard.regexes, std::string(pattern), std::move(compiled).value());
+}
+
+size_t PlanCache::plan_count() const {
+  size_t count = 0;
+  for (size_t s = 0; s < shard_count_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    count += shards_[s].plans.size();
+  }
+  return count;
+}
+
+}  // namespace mhx::xquery

@@ -1,0 +1,131 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// A process-wide compiled-plan cache: query text -> parsed Expr and regex
+// pattern -> compiled Pike-VM program, sharded by key hash so unrelated
+// queries never contend on one mutex. This is the lift of the former
+// per-engine query_cache_/regex_cache_ (xquery/engine.h): plans and
+// compiled patterns are document-independent, so one PlanCache shared by
+// every engine in a process — the corpus service wires exactly that —
+// compiles each distinct query text once no matter how many documents it
+// runs against. An engine given no shared cache creates a private one, so
+// single-document use is unchanged.
+//
+// Entries are never evicted: the mapped values live at stable addresses
+// (unique_ptr-boxed entries), so a returned Expr* / Regex* stays valid for
+// the cache's lifetime — engines hold the cache by shared_ptr, which is why
+// a plan outlives any document that happens to be evicted mid-query.
+// hits()/misses() (and the regex_ pair) are relaxed monotonic counters,
+// surfaced by bench_corpus as the cross-document hit-rate.
+
+#ifndef MHX_XQUERY_PLAN_CACHE_H_
+#define MHX_XQUERY_PLAN_CACHE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "base/statusor.h"
+#include "regex/regex.h"
+#include "xquery/parser.h"
+
+namespace mhx::xquery {
+
+namespace internal {
+// A string-keyed cache entry whose key the map's string_view key points
+// into: C++17 has no heterogeneous unordered_map lookup, so the key type
+// *is* string_view and each entry owns its key's storage. Entries live
+// behind unique_ptr, so rehashing moves pointers only and mapped values
+// stay address-stable for the cache's lifetime.
+template <typename T>
+struct CacheEntry {
+  std::string key;
+  T value;
+};
+
+// Hot-path lookup by string_view hashes once and compares at most a
+// bucket's worth of equal-hash keys — no allocation, no O(log n) chain of
+// full-string compares.
+template <typename T>
+using StringCache =
+    std::unordered_map<std::string_view, std::unique_ptr<CacheEntry<T>>>;
+
+// The insert half of the double-checked cache idiom, caller holding the
+// shard's mutex: re-find (a racing builder of the same key keeps the first
+// entry), else move `value` into a new entry whose map key aliases the
+// entry's own string. Returns the cached value, address-stable for the
+// cache's lifetime.
+template <typename T>
+T& StringCacheFindOrEmplace(StringCache<T>& cache, std::string key,
+                            T value) {
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto entry = std::unique_ptr<CacheEntry<T>>(
+        new CacheEntry<T>{std::move(key), std::move(value)});
+    const std::string_view entry_key = entry->key;
+    it = cache.emplace(entry_key, std::move(entry)).first;
+  }
+  return it->second->value;
+}
+}  // namespace internal
+
+class PlanCache {
+ public:
+  // `shard_count` is clamped to at least 1. 16 shards keep the expected
+  // contention of a full corpus fleet (dozens of concurrent queries, a
+  // handful of distinct texts) negligible without bloating an engine's
+  // private cache.
+  explicit PlanCache(size_t shard_count = 16);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // The parsed plan for `query` — cached, or parsed now and cached.
+  // Parsing happens outside the shard lock; a racing parse of the same
+  // text keeps the first entry. The returned Expr is valid for the cache's
+  // lifetime.
+  StatusOr<const Expr*> Prepare(std::string_view query);
+
+  // The compiled Pike-VM program for `pattern`, cached likewise. Returns
+  // Regex::Compile's error verbatim (callers anchor it to their source
+  // offset).
+  StatusOr<const regex::Regex*> CompileRegex(std::string_view pattern);
+
+  // Relaxed monotonic counters: a Prepare/CompileRegex that found its
+  // entry is a hit, one that had to parse/compile is a miss (a lost
+  // insert race still counts as the miss it paid for).
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t regex_hits() const {
+    return regex_hits_.load(std::memory_order_relaxed);
+  }
+  size_t regex_misses() const {
+    return regex_misses_.load(std::memory_order_relaxed);
+  }
+
+  // Distinct plans currently cached (sums the shards; each shard locked in
+  // turn, so the count is a snapshot, exact once traffic quiesces).
+  size_t plan_count() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    internal::StringCache<std::unique_ptr<Expr>> plans;
+    internal::StringCache<regex::Regex> regexes;
+  };
+
+  Shard& ShardFor(std::string_view key);
+
+  const size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
+  std::atomic<size_t> regex_hits_{0};
+  std::atomic<size_t> regex_misses_{0};
+};
+
+}  // namespace mhx::xquery
+
+#endif  // MHX_XQUERY_PLAN_CACHE_H_

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "base/thread_pool.h"
+#include "corpus/corpus.h"
 #include "document.h"
 #include "workload/generator.h"
 #include "workload/paper_data.h"
@@ -252,6 +253,112 @@ TEST(ConcurrencyStressTest, IntraQueryFanOutRacesEngineLevelQueries) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(doc.engine()->temporary_hierarchy_count(), 0u);
   EXPECT_EQ(doc.engine()->index_rebuild_count(), 1u);
+}
+
+// The corpus-service surface in one pot: capacity-2 LRU churn across four
+// documents while clients query (cheap and analyze-string-heavy, serial
+// and fanned out through the shared pool), a pin thread queries evicted-
+// but-pinned documents directly, and a kept thread holds KeptTemporaries
+// handles past its pin — so eviction destroys engines under live handles.
+// Every result is verified against a per-document serial reference; the
+// TSan CI lane re-runs this with MHX_STRESS_ITERS bumped.
+TEST(ConcurrencyStressTest, CorpusOpenEvictQueryKeptRace) {
+  corpus::CorpusOptions options;
+  options.capacity = 2;
+  options.pool_threads = 2;
+  options.max_heavy_in_flight = 2;
+  options.heavy_queue_limit = 64;  // roomy: rejection is corpus_test's job
+  corpus::CorpusService service(options);
+
+  constexpr int kDocs = 4;
+  const char* kCheapQuery = "/descendant::line";
+  const char* kHeavyQuery =
+      "for $w in /descendant::w[matches(string(.), '.*e.*')] return ("
+      "  let $r := analyze-string($w, '.*e.*')"
+      "  return for $leaf in $r/descendant::leaf()"
+      "  return if ($leaf/xancestor::m) then <b>{$leaf}</b> else $leaf"
+      "  , <br/> )";
+  std::vector<std::string> expected_cheap(kDocs);
+  std::vector<std::string> expected_heavy(kDocs);
+  for (int d = 0; d < kDocs; ++d) {
+    workload::EditionConfig config;
+    config.seed = 61 + d;
+    config.word_count = 60;
+    config.damage_coverage = 0.12;
+    config.restoration_coverage = 0.15;
+    ASSERT_TRUE(service.Register("doc" + std::to_string(d), config).ok());
+    auto direct = workload::BuildEditionDocument(config);
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    auto cheap = direct->Query(kCheapQuery);
+    auto heavy = direct->Query(kHeavyQuery);
+    ASSERT_TRUE(cheap.ok() && heavy.ok());
+    expected_cheap[d] = *cheap;
+    expected_heavy[d] = *heavy;
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  // Query clients: mixed cheap/heavy traffic, serial and parallel, across
+  // all documents — each access may build, hit, or evict.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < StressIters(8); ++i) {
+        const int d = (i + t) % kDocs;
+        const bool heavy = (i + t) % 3 == 0;
+        QueryOptions query_options;
+        query_options.threads = i % 2 == 0 ? 2 : 1;
+        auto out = service.Query("doc" + std::to_string(d),
+                                 heavy ? kHeavyQuery : kCheapQuery,
+                                 query_options);
+        if (!out.ok() ||
+            *out != (heavy ? expected_heavy[d] : expected_cheap[d])) {
+          ++failures;
+        }
+      }
+    });
+  }
+  // Pin thread: pins rotate across documents and query directly, so the
+  // pinned document keeps answering even while the LRU evicts it.
+  threads.emplace_back([&] {
+    for (int i = 0; i < StressIters(8); ++i) {
+      const int d = i % kDocs;
+      auto pinned = service.Pin("doc" + std::to_string(d));
+      if (!pinned.ok()) {
+        ++failures;
+        continue;
+      }
+      auto out = (*pinned)->Query(kCheapQuery);
+      if (!out.ok() || *out != expected_cheap[d]) ++failures;
+    }
+  });
+  // Kept thread: holds a KeptTemporaries handle after dropping its pin, so
+  // churn from the other threads can evict and destroy the engine under a
+  // live handle — which must stay inert-safe.
+  threads.emplace_back([&] {
+    for (int i = 0; i < StressIters(4); ++i) {
+      const int d = (i + 1) % kDocs;
+      xquery::KeptTemporaries held;
+      {
+        auto pinned = service.Pin("doc" + std::to_string(d));
+        if (!pinned.ok()) {
+          ++failures;
+          continue;
+        }
+        auto kept =
+            (*pinned)->engine()->EvaluateKeepingTemporaries(kHeavyQuery);
+        if (!kept.ok()) {
+          ++failures;
+          continue;
+        }
+        held = std::move(kept->temporaries);
+      }  // pin dropped; `held` may now outlive the document
+      std::this_thread::yield();
+      held.Release();
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(service.stats().heavy_rejections, 0u);
 }
 
 TEST(ConcurrencyStressTest, ThreadPoolSubmitRace) {

@@ -1,0 +1,85 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "base/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace mhx::base {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (uint64_t v = 0; v < 16; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.max(), 15u);
+  // Rank k of 16 samples 0..15 is the value k-1, and below 16 each value
+  // has its own bucket.
+  EXPECT_EQ(h.ValueAtQuantile(1.0 / 16), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 7u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 15u);
+}
+
+TEST(LatencyHistogramTest, QuantileErrorIsBoundedByOneSixteenth) {
+  LatencyHistogram h;
+  // A deterministic spread over several orders of magnitude.
+  std::vector<uint64_t> values;
+  uint64_t v = 1;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(v);
+    h.Record(v);
+    v = v * 17 % 999983 + 1;
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.95, 0.99}) {
+    const uint64_t exact =
+        values[static_cast<size_t>(q * values.size()) - 1];
+    const uint64_t est = h.ValueAtQuantile(q);
+    // The bucket's upper bound never understates its samples and
+    // overstates by at most the sub-bucket width.
+    EXPECT_GE(est, exact) << q;
+    EXPECT_LE(static_cast<double>(est), static_cast<double>(exact) * 1.0745)
+        << q;
+  }
+}
+
+TEST(LatencyHistogramTest, SingleValuePercentilesLandInItsBucket) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  const uint64_t p50 = h.ValueAtQuantile(0.5);
+  EXPECT_GE(p50, 1000u);
+  EXPECT_LE(p50, 1063u);  // 1000 lives in sub-bucket [960, 1024)
+  EXPECT_EQ(h.ValueAtQuantile(0.99), p50);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t * 1000 + i % 997));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_GE(h.ValueAtQuantile(1.0), h.ValueAtQuantile(0.5));
+}
+
+}  // namespace
+}  // namespace mhx::base

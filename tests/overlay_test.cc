@@ -93,6 +93,64 @@ TEST(OverlayIdAllocatorTest, TailRewindReclaimsChurnAboveAPinnedBlock) {
   ids.Release(pinned, 4);
 }
 
+TEST(OverlayIdAllocatorTest, FirstFitReusesHolesUnderLiveBlocks) {
+  OverlayIdAllocator ids;
+  // Holes sandwiched under live blocks — many long-lived engines churning
+  // in one process — are recycled directly, not parked until the blocks
+  // above them release.
+  NodeId a = ids.Allocate(8);
+  NodeId pinned = ids.Allocate(4);  // stays live above the hole
+  ids.Release(a, 8);
+  EXPECT_EQ(ids.Allocate(8), a);  // exact fit, same ids
+  ids.Release(a, 8);
+  // A smaller block carves the hole's front; the remainder stays free.
+  EXPECT_EQ(ids.Allocate(3), a);
+  EXPECT_EQ(ids.Allocate(5), a + 3);
+  // A block too large for the hole falls through to the tail.
+  ids.Release(a, 3);
+  NodeId tail = ids.Allocate(16);
+  EXPECT_GE(tail & ~kOverlayIdBit, pinned & ~kOverlayIdBit);
+  ids.Release(a + 3, 5);
+  ids.Release(tail, 16);
+  ids.Release(pinned, 4);
+}
+
+TEST(OverlayIdAllocatorTest, ReleaseCoalescesAdjacentHoles) {
+  OverlayIdAllocator ids;
+  NodeId a = ids.Allocate(4);
+  NodeId b = ids.Allocate(4);
+  NodeId c = ids.Allocate(4);
+  NodeId pinned = ids.Allocate(4);
+  // Release out of order: a and c are separate holes until b joins them.
+  ids.Release(a, 4);
+  ids.Release(c, 4);
+  EXPECT_EQ(ids.Allocate(8), kOverlayIdBit | 16);  // no 8-hole yet: tail
+  ids.Release(b, 4);  // bridges a..c into one 12-id hole
+  EXPECT_EQ(ids.Allocate(12), a);
+  ids.Release(a, 12);
+  ids.Release(kOverlayIdBit | 16, 8);
+  ids.Release(pinned, 4);
+}
+
+TEST(OverlayIdAllocatorTest, FirstFitPrefersTheLowestFittingHole) {
+  OverlayIdAllocator ids;
+  NodeId a = ids.Allocate(2);
+  NodeId live1 = ids.Allocate(2);
+  NodeId b = ids.Allocate(8);
+  NodeId live2 = ids.Allocate(2);
+  ids.Release(a, 2);
+  ids.Release(b, 8);
+  // Both holes fit a 2-block; the lower one wins even though the higher
+  // was freed more recently and fits exactly its own size too.
+  EXPECT_EQ(ids.Allocate(2), a);
+  // The 8-hole serves the next fitting request.
+  EXPECT_EQ(ids.Allocate(8), b);
+  ids.Release(a, 2);
+  ids.Release(b, 8);
+  ids.Release(live1, 2);
+  ids.Release(live2, 2);
+}
+
 TEST(GoddagOverlayTest, BuildsRootedTreeInItsOwnNamespace) {
   KyGoddag kg = PaperGoddag();
   auto ids = std::make_shared<OverlayIdAllocator>();

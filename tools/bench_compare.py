@@ -15,6 +15,14 @@ its own perf gate. Aggregate entries (BigO / RMS / mean / median / stddev
 rows) are skipped — their units differ and complexity fits are compared
 more meaningfully by eye.
 
+User counters attached to a benchmark (the closed-loop bench_corpus
+latency/throughput lane) are compared too, with explicit direction:
+p95_us regresses when it *rises* past the threshold, qps when it *falls*
+past it — both gate exactly like wall time. Every other counter
+(p50_us/p99_us, plan_hit_rate, builds, evictions, index_rebuilds, ...)
+is informational: reported when it moves, never a failure, because cache
+hit-rates and eviction counts describe the workload, not a verdict.
+
 CI's Release lanes upload every run's bench_<name>.json as a workflow
 artifact and diff each new run against the previous run's artifact with
 this tool — the repo's cross-PR perf trajectory. --missing-baseline-ok
@@ -30,8 +38,25 @@ import os
 import sys
 
 
+# User counters gated like wall time, with their "worse" direction:
+# +1 regresses when the value rises, -1 when it falls.
+GATED_COUNTERS = {"p95_us": +1, "qps": -1}
+
+# Standard google-benchmark JSON keys that are not user counters.
+_RESERVED_KEYS = frozenset([
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "family_index", "per_family_instance_index", "aggregate_name",
+    "aggregate_unit", "label", "error_occurred", "error_message",
+])
+
+
 def load_benchmarks(path, metric):
-    """Returns {name: (value, time_unit)} for real (non-aggregate) runs."""
+    """Returns {name: (value, time_unit, counters)} for real runs.
+
+    `counters` maps user-counter names (any non-reserved numeric field:
+    p50_us, qps, plan_hit_rate, ...) to floats.
+    """
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
     out = {}
@@ -46,16 +71,23 @@ def load_benchmarks(path, metric):
         name = bench.get("name")
         if name is None or metric not in bench:
             continue
-        out[name] = (float(bench[metric]), bench.get("time_unit", "ns"))
+        counters = {
+            key: float(value)
+            for key, value in bench.items()
+            if key not in _RESERVED_KEYS and isinstance(value, (int, float))
+        }
+        out[name] = (float(bench[metric]), bench.get("time_unit", "ns"),
+                     counters)
     return out
 
 
 def compare(baseline, candidate, threshold):
-    """Diffs two {name: (value, unit)} dicts.
+    """Diffs two {name: (value, unit[, counters])} dicts.
 
     Returns (report_lines, regressions) where regressions is a list of
-    (name, relative_delta) over the threshold. One-sided benchmarks are
-    reported but never regressions.
+    (name, relative_delta) over the threshold — wall time plus the
+    GATED_COUNTERS present in both runs, direction-aware. One-sided
+    benchmarks and ungated counters are reported but never regressions.
     """
     common = sorted(set(baseline) & set(candidate))
     only_base = sorted(set(baseline) - set(candidate))
@@ -68,8 +100,8 @@ def compare(baseline, candidate, threshold):
         lines.append(f"{'benchmark':<{name_width}}  {'baseline':>12}  "
                      f"{'candidate':>12}  {'delta':>8}")
         for name in common:
-            base_value, unit = baseline[name]
-            cand_value, _ = candidate[name]
+            base_value, unit = baseline[name][:2]
+            cand_value, _ = candidate[name][:2]
             delta = ((cand_value - base_value) / base_value
                      if base_value else 0.0)
             flag = ""
@@ -79,6 +111,26 @@ def compare(baseline, candidate, threshold):
             lines.append(f"{name:<{name_width}}  {base_value:>10.0f}{unit:>2}"
                          f"  {cand_value:>10.0f}{unit:>2}  "
                          f"{delta:>+7.1%}{flag}")
+            base_counters = baseline[name][2] if len(baseline[name]) > 2 else {}
+            cand_counters = candidate[name][2] if len(candidate[name]) > 2 else {}
+            for counter in sorted(set(base_counters) & set(cand_counters)):
+                b = base_counters[counter]
+                c = cand_counters[counter]
+                cdelta = (c - b) / b if b else 0.0
+                direction = GATED_COUNTERS.get(counter)
+                if direction is None:
+                    if b != c:
+                        lines.append(
+                            f"  [{counter}] {b:g} -> {c:g} ({cdelta:+.1%}, "
+                            "informational)")
+                    continue
+                worse = cdelta * direction
+                cflag = ""
+                if worse > threshold:
+                    cflag = "  REGRESSION"
+                    regressions.append((f"{name} [{counter}]", cdelta))
+                lines.append(f"  [{counter}] {b:g} -> {c:g} "
+                             f"({cdelta:+.1%}){cflag}")
     for name in only_base:
         lines.append(f"(removed — only in baseline)  {name}")
     for name in only_cand:

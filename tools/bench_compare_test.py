@@ -21,18 +21,23 @@ from bench_compare import compare, load_benchmarks  # noqa: E402
 
 
 def bench_json(entries):
-    """Benchmark JSON with one iteration run per (name, real_time) pair."""
-    return {
-        "benchmarks": [
-            {"name": name, "run_type": "iteration", "real_time": value,
-             "cpu_time": value, "time_unit": "ns"}
-            for name, value in entries
-        ]
-        + [  # an aggregate row that must always be skipped
-            {"name": "BM_X_BigO", "run_type": "aggregate",
-             "aggregate_name": "BigO", "real_time": 1.0}
-        ]
-    }
+    """Benchmark JSON with one iteration run per (name, real_time) pair.
+
+    An entry may be (name, value) or (name, value, counters_dict); counters
+    land as top-level fields, the way google-benchmark serialises them.
+    """
+    benchmarks = []
+    for entry in entries:
+        name, value = entry[0], entry[1]
+        row = {"name": name, "run_type": "iteration", "real_time": value,
+               "cpu_time": value, "time_unit": "ns"}
+        if len(entry) > 2:
+            row.update(entry[2])
+        benchmarks.append(row)
+    benchmarks.append(  # an aggregate row that must always be skipped
+        {"name": "BM_X_BigO", "run_type": "aggregate",
+         "aggregate_name": "BigO", "real_time": 1.0})
+    return {"benchmarks": benchmarks}
 
 
 def write_json(directory, name, payload):
@@ -54,7 +59,16 @@ def test_load_skips_aggregates():
         path = write_json(tmp, "a.json", bench_json([("BM_A", 100.0)]))
         loaded = load_benchmarks(path, "real_time")
     assert set(loaded) == {"BM_A"}, loaded
-    assert loaded["BM_A"] == (100.0, "ns")
+    assert loaded["BM_A"] == (100.0, "ns", {})
+
+
+def test_load_collects_user_counters():
+    counters = {"p95_us": 420.0, "qps": 1500.0, "plan_hit_rate": 0.97}
+    with tempfile.TemporaryDirectory() as tmp:
+        path = write_json(tmp, "a.json",
+                          bench_json([("BM_A", 100.0, counters)]))
+        loaded = load_benchmarks(path, "real_time")
+    assert loaded["BM_A"] == (100.0, "ns", counters), loaded
 
 
 def test_compare_flags_regressions_only_over_threshold():
@@ -62,6 +76,39 @@ def test_compare_flags_regressions_only_over_threshold():
     candidate = {"BM_A": (115.0, "ns"), "BM_B": (130.0, "ns")}
     _, regressions = compare(baseline, candidate, threshold=0.20)
     assert [name for name, _ in regressions] == ["BM_B"], regressions
+
+
+def test_compare_gates_p95_and_qps_direction_aware():
+    baseline = {"BM_A": (100.0, "ns", {"p95_us": 400.0, "qps": 1000.0})}
+    # p95 up 50% and qps down 40%: both beyond 20%, both regressions.
+    candidate = {"BM_A": (100.0, "ns", {"p95_us": 600.0, "qps": 600.0})}
+    lines, regressions = compare(baseline, candidate, threshold=0.20)
+    assert sorted(name for name, _ in regressions) == \
+        ["BM_A [p95_us]", "BM_A [qps]"], regressions
+    # Improvements in the "good" direction never regress.
+    better = {"BM_A": (100.0, "ns", {"p95_us": 100.0, "qps": 5000.0})}
+    _, regressions = compare(baseline, better, threshold=0.20)
+    assert not regressions, regressions
+
+
+def test_compare_reports_ungated_counters_without_failing():
+    baseline = {"BM_A": (100.0, "ns",
+                         {"plan_hit_rate": 0.99, "evictions": 0.0,
+                          "p50_us": 100.0})}
+    candidate = {"BM_A": (100.0, "ns",
+                          {"plan_hit_rate": 0.10, "evictions": 500.0,
+                           "p50_us": 900.0})}
+    lines, regressions = compare(baseline, candidate, threshold=0.20)
+    assert not regressions, regressions
+    assert any("plan_hit_rate" in line and "informational" in line
+               for line in lines), lines
+
+
+def test_compare_ignores_counters_missing_from_either_side():
+    baseline = {"BM_A": (100.0, "ns", {"p95_us": 400.0})}
+    candidate = {"BM_A": (100.0, "ns", {})}
+    _, regressions = compare(baseline, candidate, threshold=0.20)
+    assert not regressions, regressions
 
 
 def test_compare_reports_one_sided_benchmarks_without_failing():
@@ -95,6 +142,17 @@ def test_cli_exit_codes():
         code, out, _ = run_script(base, disjoint)
         assert code == 0, out
         assert "no common benchmarks" in out
+
+
+def test_cli_counter_regression_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        base = write_json(tmp, "base.json",
+                          bench_json([("BM_C", 100.0, {"qps": 1000.0})]))
+        slow = write_json(tmp, "slow.json",
+                          bench_json([("BM_C", 100.0, {"qps": 500.0})]))
+        code, _, err = run_script(base, slow)
+        assert code == 1, err
+        assert "qps" in err
 
 
 def test_cli_missing_baseline_bootstrap():
