@@ -28,6 +28,7 @@
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -174,7 +175,13 @@ void BM_CorpusMixed(benchmark::State& state) {
     for (size_t q = 0; q < 4; ++q) Expected(e, q);
   }
 
-  mhx::base::LatencyHistogram latency;
+  // One histogram per client thread (cache-line-private recording), merged
+  // into the lane histogram after the run — the aggregation path
+  // base::LatencyHistogram::Merge exists for.
+  std::vector<std::unique_ptr<mhx::base::LatencyHistogram>> client_latency;
+  for (size_t c = 0; c < kClients; ++c) {
+    client_latency.push_back(std::make_unique<mhx::base::LatencyHistogram>());
+  }
   uint64_t next_op = 0;
   for (auto _ : state) {
     std::atomic<int> failures{0};
@@ -183,14 +190,14 @@ void BM_CorpusMixed(benchmark::State& state) {
     for (size_t c = 0; c < kClients; ++c) {
       const uint64_t begin = next_op + c * (kOpsPerIteration / kClients);
       const uint64_t end = begin + kOpsPerIteration / kClients;
-      clients.emplace_back([&, begin, end] {
+      clients.emplace_back([&, begin, end, c] {
         for (uint64_t i = begin; i < end; ++i) {
           const Op op = OpFor(i);
           const auto start = std::chrono::steady_clock::now();
           auto out = corpus.Query(EditionName(op.edition),
                                   kQueries[op.query], query_options);
           const auto stop = std::chrono::steady_clock::now();
-          latency.Record(static_cast<uint64_t>(
+          client_latency[c]->Record(static_cast<uint64_t>(
               std::chrono::duration_cast<std::chrono::microseconds>(stop -
                                                                     start)
                   .count()));
@@ -205,6 +212,10 @@ void BM_CorpusMixed(benchmark::State& state) {
     VerifyOrAbort(failures.load() == 0,
                   "corpus result == serial single-document reference");
   }
+  mhx::base::LatencyHistogram latency;
+  for (const auto& h : client_latency) latency.Merge(*h);
+  VerifyOrAbort(latency.TotalCount() == latency.count(),
+                "merged histogram is internally consistent");
 
   const CorpusService::Stats stats = corpus.stats();
   VerifyOrAbort(stats.heavy_rejections == 0,
@@ -223,6 +234,15 @@ void BM_CorpusMixed(benchmark::State& state) {
       lookups > 0 ? static_cast<double>(stats.plan_hits) / lookups : 0.0;
   state.counters["builds"] = static_cast<double>(stats.builds);
   state.counters["evictions"] = static_cast<double>(stats.evictions);
+  // analyze-string patterns compile once process-wide; the hit counters
+  // were previously invisible outside the PlanCache itself.
+  state.counters["plan_regex_hits"] =
+      static_cast<double>(stats.plan_regex_hits);
+  state.counters["plan_regex_misses"] =
+      static_cast<double>(stats.plan_regex_misses);
+  // Full registry snapshot in the lane's JSON label: tools/bench_compare.py
+  // flattens the numeric leaves into informational "obs.*" counters.
+  state.SetLabel(corpus.metrics().JsonExport());
 }
 BENCHMARK(BM_CorpusMixed)
     ->Args({10, 1})  // all editions resident: plan-cache + pool sharing

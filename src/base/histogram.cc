@@ -36,11 +36,35 @@ uint64_t LatencyHistogram::BucketUpperBound(size_t bucket) {
 void LatencyHistogram::Record(uint64_t value) {
   buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
   uint64_t seen = max_.load(std::memory_order_relaxed);
   while (value > seen &&
          !max_.compare_exchange_weak(seen, value,
                                      std::memory_order_relaxed)) {
   }
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.Sum(), std::memory_order_relaxed);
+  const uint64_t other_max = other.max();
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen &&
+         !max_.compare_exchange_weak(seen, other_max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 uint64_t LatencyHistogram::ValueAtQuantile(double q) const {

@@ -32,7 +32,23 @@ class LatencyHistogram {
   // Lock-free; safe from any number of threads.
   void Record(uint64_t value);
 
+  // Folds `other`'s samples into this histogram: bucket-wise adds, so the
+  // merged quantiles are exactly what one shared histogram would have
+  // reported. Safe against concurrent Record() on either side (each load
+  // and add is relaxed-atomic); the result is a snapshot, exact once both
+  // sides quiesce. Merging a histogram into itself double-counts.
+  void Merge(const LatencyHistogram& other);
+
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  // Sum of bucket occupancies. Equals count() at rest; during concurrent
+  // Record() the two can transiently differ by in-flight samples, and
+  // after Merge() this is the authoritative total.
+  uint64_t TotalCount() const;
+
+  // Sum of all recorded values — exact, not bucketed — for mean latency
+  // (Sum() / count()).
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
 
   // The estimated value at quantile q in [0, 1] (0.5 = median): the upper
   // bound of the bucket holding the ceil(q * count)-th smallest sample.
@@ -53,6 +69,7 @@ class LatencyHistogram {
 
   std::atomic<uint64_t> buckets_[kBucketCount];
   std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> max_{0};
 };
 

@@ -3,7 +3,9 @@
 #include "corpus/corpus.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
+#include <optional>
 #include <utility>
 
 #include "base/status_macros.h"
@@ -47,6 +49,11 @@ size_t AdmissionController::in_flight() const {
   return in_flight_;
 }
 
+size_t AdmissionController::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
 namespace {
 // Pairs every Ok Acquire with a Release on all exit paths of Query.
 class AdmissionTicket {
@@ -69,15 +76,88 @@ class AdmissionTicket {
 CorpusService::CorpusService(const CorpusOptions& options)
     : capacity_(std::max<size_t>(options.capacity, 1)),
       shard_count_(std::max<size_t>(options.shard_count, 1)),
+      slow_threshold_us_(options.slow_query_threshold_us),
       plans_(std::make_shared<xquery::PlanCache>(options.plan_shards)),
       pool_(options.pool_threads > 0
                 ? std::make_shared<base::ThreadPool>(options.pool_threads)
                 : nullptr),
+      engine_counters_(std::make_shared<xquery::EngineCounters>()),
       heavy_admission_(options.max_heavy_in_flight,
                        options.heavy_queue_limit),
-      shards_(new Shard[shard_count_]) {}
+      shards_(new Shard[shard_count_]),
+      slow_log_(options.slow_query_threshold_us == kNoSlowQueryLog
+                    ? 0
+                    : options.slow_query_log_capacity) {
+  WireMetrics();
+}
 
 CorpusService::~CorpusService() = default;
+
+void CorpusService::WireMetrics() {
+  // Every referent is a member of this service (or shared_ptr-owned by
+  // it), so the outlives-the-registry contract holds by construction.
+  registry_.RegisterCounter("mhx_plan_cache_hits_total",
+                            "Plan-cache Prepare() calls served from cache",
+                            &plans_->hits_counter());
+  registry_.RegisterCounter("mhx_plan_cache_misses_total",
+                            "Plan-cache Prepare() calls that parsed",
+                            &plans_->misses_counter());
+  registry_.RegisterCounter("mhx_plan_cache_regex_hits_total",
+                            "Compiled-regex lookups served from cache",
+                            &plans_->regex_hits_counter());
+  registry_.RegisterCounter("mhx_plan_cache_regex_misses_total",
+                            "Compiled-regex lookups that compiled",
+                            &plans_->regex_misses_counter());
+  registry_.RegisterCounter(
+      "mhx_engine_sorts_skipped_total",
+      "Path-step sort+dedup passes skipped via ordering guarantees",
+      &engine_counters_->sorts_skipped);
+  registry_.RegisterCounter(
+      "mhx_engine_parallel_tasks_total",
+      "Worker tasks dispatched to the pool by parallel loops",
+      &engine_counters_->parallel_tasks);
+  registry_.RegisterCounter(
+      "mhx_engine_steals_total",
+      "Binding ranges stolen between work-stealing slots",
+      &engine_counters_->steals);
+  registry_.RegisterCounter("mhx_engine_index_rebuilds_total",
+                            "RangeIndex (re)constructions across engines",
+                            &engine_counters_->index_rebuilds);
+  registry_.RegisterCounter("mhx_corpus_queries_total",
+                            "Query() calls accepted for evaluation",
+                            &queries_);
+  registry_.RegisterCounter("mhx_corpus_builds_total",
+                            "Documents built (rebuilds after eviction too)",
+                            &builds_);
+  registry_.RegisterCounter("mhx_corpus_evictions_total",
+                            "Documents evicted by the LRU", &evictions_);
+  registry_.RegisterCounter("mhx_corpus_pins_total",
+                            "Explicit Pin() calls", &pins_);
+  registry_.RegisterCounter(
+      "mhx_corpus_slow_queries_total",
+      "Queries captured by the slow-query log",
+      [this] { return slow_log_.recorded(); });
+  registry_.RegisterGauge("mhx_corpus_resident_documents",
+                          "Documents currently resident", [this] {
+                            std::lock_guard<std::mutex> lock(lru_mu_);
+                            return static_cast<int64_t>(lru_.size());
+                          });
+  registry_.RegisterCounter(
+      "mhx_admission_heavy_rejected_total",
+      "Heavy queries rejected with ResourceExhausted",
+      [this] { return static_cast<uint64_t>(heavy_admission_.rejected()); });
+  registry_.RegisterGauge(
+      "mhx_admission_heavy_in_flight",
+      "Heavy queries currently admitted",
+      [this] { return static_cast<int64_t>(heavy_admission_.in_flight()); });
+  registry_.RegisterGauge(
+      "mhx_admission_heavy_waiting",
+      "Heavy queries waiting in the admission queue",
+      [this] { return static_cast<int64_t>(heavy_admission_.waiting()); });
+  registry_.RegisterTimer("mhx_corpus_query_latency_us",
+                          "Wall time of completed Query() calls",
+                          &query_latency_);
+}
 
 CorpusService::Shard& CorpusService::ShardFor(std::string_view name) const {
   return shards_[std::hash<std::string_view>{}(name) % shard_count_];
@@ -108,7 +188,7 @@ CorpusService::Entry* CorpusService::FindEntry(std::string_view name) const {
 }
 
 StatusOr<std::shared_ptr<MultihierarchicalDocument>> CorpusService::Resident(
-    Entry* entry) {
+    Entry* entry, obs::QueryTrace* trace) {
   {
     std::lock_guard<std::mutex> lock(lru_mu_);
     if (entry->doc != nullptr) {
@@ -117,7 +197,10 @@ StatusOr<std::shared_ptr<MultihierarchicalDocument>> CorpusService::Resident(
     }
   }
   // Cold. One builder per entry; latecomers block here, then find the doc
-  // resident on re-check.
+  // resident on re-check. Both the wait and the build land in the
+  // "doc_build" stage span — a trace showing time here means the query hit
+  // a cold (or just-evicted) document either way.
+  obs::StageTimer stage(trace, "doc_build");
   std::lock_guard<std::mutex> build_lock(entry->build_mu);
   {
     std::lock_guard<std::mutex> lock(lru_mu_);
@@ -132,7 +215,7 @@ StatusOr<std::shared_ptr<MultihierarchicalDocument>> CorpusService::Resident(
   if (!built.ok()) return built.status();
   auto doc = std::make_shared<MultihierarchicalDocument>(
       std::move(built).value());
-  MHX_RETURN_IF_ERROR(doc->ConfigureEngine(plans_, pool_));
+  MHX_RETURN_IF_ERROR(doc->ConfigureEngine(plans_, pool_, engine_counters_));
 
   std::vector<std::shared_ptr<MultihierarchicalDocument>> evicted;
   {
@@ -141,7 +224,7 @@ StatusOr<std::shared_ptr<MultihierarchicalDocument>> CorpusService::Resident(
     lru_.push_front(entry);
     entry->lru_it = lru_.begin();
     ++entry->builds;
-    ++builds_;
+    builds_.Add();
     while (lru_.size() > capacity_) {
       Entry* victim = lru_.back();
       lru_.pop_back();
@@ -149,11 +232,43 @@ StatusOr<std::shared_ptr<MultihierarchicalDocument>> CorpusService::Resident(
       // pools, frees the goddag) should not run under lru_mu_.
       evicted.push_back(std::move(victim->doc));
       victim->doc = nullptr;
-      ++evictions_;
+      evictions_.Add();
     }
   }
   evicted.clear();  // may destroy documents; in-flight pins keep theirs
   return doc;
+}
+
+StatusOr<std::string> CorpusService::QueryTraced(Entry* entry,
+                                                 std::string_view query,
+                                                 const QueryOptions& options,
+                                                 obs::QueryTrace* trace) {
+  // Classify before touching the document: the shared-cache Prepare both
+  // surfaces parse errors early and guarantees the engine's own Prepare is
+  // a hit.
+  const xquery::Expr* plan = nullptr;
+  {
+    obs::StageTimer stage(trace, "parse");
+    MHX_ASSIGN_OR_RETURN(plan, plans_->Prepare(query));
+  }
+  const bool heavy = xquery::ContainsAnalyzeString(plan->root());
+  std::unique_ptr<AdmissionTicket> ticket;
+  if (heavy) {
+    // Admission happens on the caller's thread, never on a pool worker, so
+    // a full heavy queue can never stall the fan-out pool itself.
+    obs::StageTimer stage(trace, "admission_wait");
+    MHX_RETURN_IF_ERROR(heavy_admission_.Acquire());
+    ticket = std::make_unique<AdmissionTicket>(&heavy_admission_);
+  }
+  MHX_ASSIGN_OR_RETURN(std::shared_ptr<MultihierarchicalDocument> doc,
+                       Resident(entry, trace));
+  // `doc` pins the document: eviction can drop the service's reference at
+  // any time without freeing it under this evaluation. The engine records
+  // the remaining stages (plan_lookup, index_materialize, evaluate,
+  // serialize) into the same trace.
+  QueryOptions traced = options;
+  traced.trace = trace;
+  return doc->Query(query, traced);
 }
 
 StatusOr<std::string> CorpusService::Query(std::string_view doc_name,
@@ -164,23 +279,38 @@ StatusOr<std::string> CorpusService::Query(std::string_view doc_name,
     return NotFoundError("document '" + std::string(doc_name) +
                          "' is not registered");
   }
-  // Classify before touching the document: the shared-cache Prepare both
-  // surfaces parse errors early and guarantees the engine's own Prepare is
-  // a hit.
-  MHX_ASSIGN_OR_RETURN(const xquery::Expr* plan, plans_->Prepare(query));
-  const bool heavy = xquery::ContainsAnalyzeString(plan->root());
-  std::unique_ptr<AdmissionTicket> ticket;
-  if (heavy) {
-    // Admission happens on the caller's thread, never on a pool worker, so
-    // a full heavy queue can never stall the fan-out pool itself.
-    MHX_RETURN_IF_ERROR(heavy_admission_.Acquire());
-    ticket = std::make_unique<AdmissionTicket>(&heavy_admission_);
+  queries_.Add();
+  // Resolve the trace: a caller-attached one is used as-is; with the slow
+  // log enabled an untraced query gets a service-internal trace so its
+  // stage breakdown is capturable; otherwise null and every trace site in
+  // the stack reduces to one branch.
+  const bool slow_log_on =
+      slow_threshold_us_ != kNoSlowQueryLog && slow_log_.capacity() > 0;
+  std::optional<obs::QueryTrace> local_trace;
+  obs::QueryTrace* trace = options.trace;
+  if (trace == nullptr && slow_log_on) {
+    local_trace.emplace();
+    trace = &*local_trace;
   }
-  MHX_ASSIGN_OR_RETURN(std::shared_ptr<MultihierarchicalDocument> doc,
-                       Resident(entry));
-  // `doc` pins the document: eviction can drop the service's reference at
-  // any time without freeing it under this evaluation.
-  return doc->Query(query, options);
+  const auto start = std::chrono::steady_clock::now();
+  auto result = QueryTraced(entry, query, options, trace);
+  const uint64_t total_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  query_latency_.Record(total_us);
+  if (slow_log_on && trace != nullptr && total_us >= slow_threshold_us_) {
+    obs::SlowQueryRecord record;
+    record.query_hash = std::hash<std::string_view>{}(query);
+    record.doc_name = std::string(doc_name);
+    record.query = std::string(query);
+    record.total_us = total_us;
+    record.spans = trace->spans();
+    record.parallel_tasks = trace->parallel_tasks();
+    record.steals = trace->steals();
+    slow_log_.Record(std::move(record));
+  }
+  return result;
 }
 
 StatusOr<std::shared_ptr<const MultihierarchicalDocument>> CorpusService::Pin(
@@ -190,6 +320,7 @@ StatusOr<std::shared_ptr<const MultihierarchicalDocument>> CorpusService::Pin(
     return NotFoundError("document '" + std::string(doc_name) +
                          "' is not registered");
   }
+  pins_.Add();
   MHX_ASSIGN_OR_RETURN(std::shared_ptr<MultihierarchicalDocument> doc,
                        Resident(entry));
   return std::shared_ptr<const MultihierarchicalDocument>(std::move(doc));
@@ -200,13 +331,18 @@ CorpusService::Stats CorpusService::stats() const {
   {
     std::lock_guard<std::mutex> lock(lru_mu_);
     stats.resident_documents = lru_.size();
-    stats.builds = builds_;
-    stats.evictions = evictions_;
   }
+  stats.builds = static_cast<size_t>(builds_.value());
+  stats.evictions = static_cast<size_t>(evictions_.value());
+  stats.pins = static_cast<size_t>(pins_.value());
   stats.plan_hits = plans_->hits();
   stats.plan_misses = plans_->misses();
+  stats.plan_regex_hits = plans_->regex_hits();
+  stats.plan_regex_misses = plans_->regex_misses();
   stats.heavy_rejections = heavy_admission_.rejected();
   stats.heavy_in_flight = heavy_admission_.in_flight();
+  stats.heavy_waiting = heavy_admission_.waiting();
+  stats.slow_queries = static_cast<size_t>(slow_log_.recorded());
   return stats;
 }
 

@@ -38,6 +38,8 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <limits>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -49,10 +51,18 @@
 #include "base/statusor.h"
 #include "base/thread_pool.h"
 #include "document.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "workload/generator.h"
 #include "xquery/plan_cache.h"
 
 namespace mhx::corpus {
+
+// Sentinel for CorpusOptions::slow_query_threshold_us: no per-query trace
+// is created and nothing is ever captured.
+inline constexpr uint64_t kNoSlowQueryLog =
+    std::numeric_limits<uint64_t>::max();
 
 struct CorpusOptions {
   // Maximum resident (built) documents; clamped to at least 1. Eviction is
@@ -70,6 +80,16 @@ struct CorpusOptions {
   size_t heavy_queue_limit = 16;
   // Shards of the process-wide PlanCache.
   size_t plan_shards = 16;
+  // Completed queries at or above this wall time (µs) are captured in the
+  // slow-query log with their full stage breakdown: when enabled, every
+  // Query() without a caller-attached trace gets a service-internal
+  // QueryTrace (a few clock reads and small span records per query). 0
+  // captures everything (tests); the default sentinel disables tracing
+  // and capture entirely.
+  uint64_t slow_query_threshold_us = kNoSlowQueryLog;
+  // Retained slow-query records (ring; oldest overwritten). 0 disables
+  // capture even if the threshold is set.
+  size_t slow_query_log_capacity = 64;
 };
 
 // Bounded-queue admission for one class of expensive work. Acquire either
@@ -88,6 +108,7 @@ class AdmissionController {
   void Release();
 
   size_t in_flight() const;
+  size_t waiting() const;
   size_t rejected() const {
     return rejected_.load(std::memory_order_relaxed);
   }
@@ -109,10 +130,15 @@ class CorpusService {
     size_t resident_documents = 0;
     size_t builds = 0;      // documents built (re-builds after eviction too)
     size_t evictions = 0;
+    size_t pins = 0;        // explicit Pin() calls
     size_t plan_hits = 0;   // process-wide PlanCache, all documents
     size_t plan_misses = 0;
+    size_t plan_regex_hits = 0;
+    size_t plan_regex_misses = 0;
     size_t heavy_rejections = 0;
     size_t heavy_in_flight = 0;
+    size_t heavy_waiting = 0;
+    size_t slow_queries = 0;  // captured by the slow-query log, ever
   };
 
   explicit CorpusService(const CorpusOptions& options);
@@ -149,6 +175,19 @@ class CorpusService {
 
   const std::shared_ptr<xquery::PlanCache>& plans() const { return plans_; }
 
+  // The service's metric directory (`mhx_*` namespace, see DESIGN.md
+  // "Observability"): every scattered counter in the stack — PlanCache,
+  // the shared EngineCounters, builds/evictions/pins, admission levels —
+  // registered once at construction. Safe to export concurrently with
+  // query traffic.
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+
+  // Snapshot of the slow-query log, oldest first. Empty unless
+  // CorpusOptions::slow_query_threshold_us enabled capture.
+  std::vector<obs::SlowQueryRecord> DumpSlowQueries() const {
+    return slow_log_.DumpSlowQueries();
+  }
+
  private:
   struct Entry {
     std::string name;
@@ -167,21 +206,43 @@ class CorpusService {
 
   Shard& ShardFor(std::string_view name) const;
   Entry* FindEntry(std::string_view name) const;
-  // The pin: returns entry->doc, building it first when cold.
-  StatusOr<std::shared_ptr<MultihierarchicalDocument>> Resident(Entry* entry);
+  // The pin: returns entry->doc, building it first when cold. A non-null
+  // `trace` gets a "doc_build" stage span when this call actually builds.
+  StatusOr<std::shared_ptr<MultihierarchicalDocument>> Resident(
+      Entry* entry, obs::QueryTrace* trace = nullptr);
+  // Query() with the resolved trace (caller-attached, service-internal
+  // for the slow log, or null).
+  StatusOr<std::string> QueryTraced(Entry* entry, std::string_view query,
+                                    const QueryOptions& options,
+                                    obs::QueryTrace* trace);
+  // Registers every instrument with registry_; construction only.
+  void WireMetrics();
 
   const size_t capacity_;
   const size_t shard_count_;
+  const uint64_t slow_threshold_us_;
   std::shared_ptr<xquery::PlanCache> plans_;
   std::shared_ptr<base::ThreadPool> pool_;  // null when pool_threads == 0
+  // One counter block shared by every engine the service builds, so
+  // totals survive eviction (see xquery::EngineCounters).
+  std::shared_ptr<xquery::EngineCounters> engine_counters_;
   AdmissionController heavy_admission_;
   std::unique_ptr<Shard[]> shards_;
+  obs::SlowQueryLog slow_log_;
 
   mutable std::mutex lru_mu_;
   // Front = most recently used. Only resident entries are listed.
   std::list<Entry*> lru_;
-  size_t builds_ = 0;
-  size_t evictions_ = 0;
+  // Bumped under lru_mu_ (obs::Counter so the registry reads them without
+  // the lock).
+  obs::Counter builds_;
+  obs::Counter evictions_;
+  obs::Counter pins_;
+  obs::Counter queries_;
+  // Wall time of every completed Query(), traced or not, in µs.
+  base::LatencyHistogram query_latency_;
+  // Declared last: its external registrations point at the members above.
+  obs::MetricsRegistry registry_;
 };
 
 }  // namespace mhx::corpus

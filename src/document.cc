@@ -60,14 +60,16 @@ xquery::Engine* MultihierarchicalDocument::engine() const {
   std::lock_guard<std::mutex> lock(*engine_mu_);
   if (engine_ == nullptr) {
     engine_ = std::make_unique<xquery::Engine>(this, engine_plans_,
-                                               engine_pool_);
+                                               engine_pool_,
+                                               engine_counters_);
   }
   return engine_.get();
 }
 
 Status MultihierarchicalDocument::ConfigureEngine(
     std::shared_ptr<xquery::PlanCache> plans,
-    std::shared_ptr<base::ThreadPool> pool) const {
+    std::shared_ptr<base::ThreadPool> pool,
+    std::shared_ptr<xquery::EngineCounters> counters) const {
   std::lock_guard<std::mutex> lock(*engine_mu_);
   if (engine_ != nullptr) {
     return FailedPreconditionError(
@@ -75,6 +77,7 @@ Status MultihierarchicalDocument::ConfigureEngine(
   }
   engine_plans_ = std::move(plans);
   engine_pool_ = std::move(pool);
+  engine_counters_ = std::move(counters);
   return OkStatus();
 }
 

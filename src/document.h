@@ -70,6 +70,7 @@ class MultihierarchicalDocument {
         engine_(std::move(other.engine_)),
         engine_plans_(std::move(other.engine_plans_)),
         engine_pool_(std::move(other.engine_pool_)),
+        engine_counters_(std::move(other.engine_counters_)),
         engine_mu_(std::move(other.engine_mu_)) {
     if (engine_ != nullptr) engine_->Rebind(this);
   }
@@ -79,6 +80,7 @@ class MultihierarchicalDocument {
     engine_ = std::move(other.engine_);
     engine_plans_ = std::move(other.engine_plans_);
     engine_pool_ = std::move(other.engine_pool_);
+    engine_counters_ = std::move(other.engine_counters_);
     engine_mu_ = std::move(other.engine_mu_);
     if (engine_ != nullptr) engine_->Rebind(this);
     return *this;
@@ -116,12 +118,15 @@ class MultihierarchicalDocument {
   xquery::Engine* engine() const;
 
   // Corpus injection seam: arranges for the lazily created engine to share
-  // a process-wide PlanCache and fan-out ThreadPool instead of growing its
-  // own (either may be null to keep the engine-private default). Fails with
+  // a process-wide PlanCache, fan-out ThreadPool, and EngineCounters block
+  // instead of growing its own (any may be null to keep the engine-private
+  // default; shared counters survive this document's eviction). Fails with
   // FailedPrecondition once the engine exists — the corpus service calls
   // this right after Build, before any query.
-  Status ConfigureEngine(std::shared_ptr<xquery::PlanCache> plans,
-                         std::shared_ptr<base::ThreadPool> pool) const;
+  Status ConfigureEngine(
+      std::shared_ptr<xquery::PlanCache> plans,
+      std::shared_ptr<base::ThreadPool> pool,
+      std::shared_ptr<xquery::EngineCounters> counters = nullptr) const;
 
  private:
   explicit MultihierarchicalDocument(std::unique_ptr<goddag::KyGoddag> g)
@@ -135,6 +140,7 @@ class MultihierarchicalDocument {
   // Held until the engine is created (ConfigureEngine), then passed to it.
   mutable std::shared_ptr<xquery::PlanCache> engine_plans_;
   mutable std::shared_ptr<base::ThreadPool> engine_pool_;
+  mutable std::shared_ptr<xquery::EngineCounters> engine_counters_;
   // Guards lazy engine creation under concurrent Query calls. Behind a
   // pointer because mutexes are not movable but the document is.
   mutable std::unique_ptr<std::mutex> engine_mu_;

@@ -1,0 +1,244 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace mhx::obs {
+
+namespace {
+
+bool IsNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+// HELP text escaping per the exposition format: backslash and newline.
+std::string EscapeHelp(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty() || !IsNameChar(name[0], /*first=*/true)) out += '_';
+  for (size_t i = 0; i < name.size(); ++i) {
+    out += IsNameChar(name[i], /*first=*/i == 0 && out.empty())
+               ? name[i]
+               : '_';
+  }
+  return out;
+}
+
+uint64_t MetricsRegistry::Entry::CounterValue() const {
+  if (counter != nullptr) return counter->value();
+  if (owned_counter != nullptr) return owned_counter->value();
+  if (counter_fn) return counter_fn();
+  return 0;
+}
+
+int64_t MetricsRegistry::Entry::GaugeValue() const {
+  if (owned_gauge != nullptr) return owned_gauge->value();
+  if (gauge_fn) return gauge_fn();
+  return 0;
+}
+
+const base::LatencyHistogram* MetricsRegistry::Entry::Timer() const {
+  if (timer != nullptr) return timer;
+  return owned_timer.get();
+}
+
+MetricsRegistry::Entry& MetricsRegistry::Reset(std::string name,
+                                               Entry::Kind kind,
+                                               std::string_view help) {
+  Entry& entry = entries_[std::move(name)];
+  entry = Entry{};
+  entry.kind = kind;
+  entry.help = std::string(help);
+  return entry;
+}
+
+Counter* MetricsRegistry::AddCounter(std::string_view name,
+                                     std::string_view help) {
+  std::string key = SanitizeMetricName(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Register-once: the same owned counter comes back; anything else
+    // under this name is a wiring bug the caller must notice.
+    return it->second.owned_counter.get();
+  }
+  Entry& entry = Reset(std::move(key), Entry::Kind::kCounter, help);
+  entry.owned_counter = std::make_unique<Counter>();
+  return entry.owned_counter.get();
+}
+
+Gauge* MetricsRegistry::AddGauge(std::string_view name,
+                                 std::string_view help) {
+  std::string key = SanitizeMetricName(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second.owned_gauge.get();
+  Entry& entry = Reset(std::move(key), Entry::Kind::kGauge, help);
+  entry.owned_gauge = std::make_unique<Gauge>();
+  return entry.owned_gauge.get();
+}
+
+base::LatencyHistogram* MetricsRegistry::AddTimer(std::string_view name,
+                                                  std::string_view help) {
+  std::string key = SanitizeMetricName(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second.owned_timer.get();
+  Entry& entry = Reset(std::move(key), Entry::Kind::kTimer, help);
+  entry.owned_timer = std::make_unique<base::LatencyHistogram>();
+  return entry.owned_timer.get();
+}
+
+void MetricsRegistry::RegisterCounter(std::string_view name,
+                                      std::string_view help,
+                                      const Counter* counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Reset(SanitizeMetricName(name), Entry::Kind::kCounter, help).counter =
+      counter;
+}
+
+void MetricsRegistry::RegisterCounter(std::string_view name,
+                                      std::string_view help,
+                                      std::function<uint64_t()> read) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Reset(SanitizeMetricName(name), Entry::Kind::kCounter, help).counter_fn =
+      std::move(read);
+}
+
+void MetricsRegistry::RegisterGauge(std::string_view name,
+                                    std::string_view help,
+                                    std::function<int64_t()> read) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Reset(SanitizeMetricName(name), Entry::Kind::kGauge, help).gauge_fn =
+      std::move(read);
+}
+
+void MetricsRegistry::RegisterTimer(std::string_view name,
+                                    std::string_view help,
+                                    const base::LatencyHistogram* timer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Reset(SanitizeMetricName(name), Entry::Kind::kTimer, help).timer = timer;
+}
+
+std::string MetricsRegistry::TextExport() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    out += "# HELP " + name + " " + EscapeHelp(entry.help) + "\n";
+    switch (entry.kind) {
+      case Entry::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(entry.CounterValue()) + "\n";
+        break;
+      case Entry::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(entry.GaugeValue()) + "\n";
+        break;
+      case Entry::Kind::kTimer: {
+        const base::LatencyHistogram* h = entry.Timer();
+        out += "# TYPE " + name + " summary\n";
+        out += name + "{quantile=\"0.5\"} " +
+               std::to_string(h->ValueAtQuantile(0.5)) + "\n";
+        out += name + "{quantile=\"0.95\"} " +
+               std::to_string(h->ValueAtQuantile(0.95)) + "\n";
+        out += name + "{quantile=\"0.99\"} " +
+               std::to_string(h->ValueAtQuantile(0.99)) + "\n";
+        out += name + "_sum " + std::to_string(h->Sum()) + "\n";
+        out += name + "_count " + std::to_string(h->count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonExport() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + EscapeJson(name) + "\":";
+    switch (entry.kind) {
+      case Entry::Kind::kCounter:
+        out += std::to_string(entry.CounterValue());
+        break;
+      case Entry::Kind::kGauge:
+        out += std::to_string(entry.GaugeValue());
+        break;
+      case Entry::Kind::kTimer: {
+        const base::LatencyHistogram* h = entry.Timer();
+        out += "{\"count\":" + std::to_string(h->count()) +
+               ",\"sum\":" + std::to_string(h->Sum()) +
+               ",\"max\":" + std::to_string(h->max()) +
+               ",\"p50\":" + std::to_string(h->ValueAtQuantile(0.5)) +
+               ",\"p95\":" + std::to_string(h->ValueAtQuantile(0.95)) +
+               ",\"p99\":" + std::to_string(h->ValueAtQuantile(0.99)) + "}";
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+size_t MetricsRegistry::metric_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace mhx::obs

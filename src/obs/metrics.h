@@ -1,0 +1,147 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// The process observability registry: named counters, gauges, and
+// latency timers behind one export surface. The hot path is a plain
+// relaxed atomic — obs::Counter / obs::Gauge are standalone value types a
+// component owns and bumps exactly like the raw std::atomic it replaces —
+// and the registry is only a directory over them: instruments register
+// once at wiring time (CorpusService construction), and TextExport() /
+// JsonExport() walk the directory on demand. Nothing on a query's path
+// ever takes the registry lock.
+//
+// Two registration styles:
+//   * Owned: AddCounter/AddGauge/AddTimer create the instrument inside the
+//     registry and hand back a stable pointer — for metrics that have no
+//     other natural owner (query totals, slow-log capture counts).
+//   * External: RegisterCounter/RegisterGauge/RegisterTimer point the
+//     registry at an instrument (or a read callback) owned elsewhere — how
+//     the pre-existing PlanCache / Engine / CorpusService counters migrate
+//     without moving. The referent must outlive the registry; in the
+//     corpus service both are members with nested lifetimes.
+//
+// Naming scheme (see DESIGN.md "Observability"): Prometheus conventions —
+// `mhx_<component>_<what>[_total]`, `_total` for monotonic counters, unit
+// suffixes spelled out (`_us`). Names are sanitised to the Prometheus
+// charset on registration, so TextExport() is always valid exposition
+// text: counters and gauges export as their bare sample, timers as a
+// summary (quantile samples + `_sum` + `_count`).
+
+#ifndef MHX_OBS_METRICS_H_
+#define MHX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "base/histogram.h"
+
+namespace mhx::obs {
+
+// A relaxed monotonic counter. Add() is one fetch_add; safe from any
+// number of threads; exact once traffic quiesces.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// A relaxed settable gauge (current level, may go down).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Owned instruments. The returned pointer is stable for the registry's
+  // lifetime. Calling again with a name that already holds an owned
+  // instrument of the same kind returns that instrument (register-once);
+  // a kind collision returns nullptr.
+  Counter* AddCounter(std::string_view name, std::string_view help);
+  Gauge* AddGauge(std::string_view name, std::string_view help);
+  base::LatencyHistogram* AddTimer(std::string_view name,
+                                   std::string_view help);
+
+  // External instruments, read through at export time. The pointer (or
+  // everything a callback captures) must outlive the registry. A repeated
+  // name replaces the earlier registration.
+  void RegisterCounter(std::string_view name, std::string_view help,
+                       const Counter* counter);
+  void RegisterCounter(std::string_view name, std::string_view help,
+                       std::function<uint64_t()> read);
+  void RegisterGauge(std::string_view name, std::string_view help,
+                     std::function<int64_t()> read);
+  void RegisterTimer(std::string_view name, std::string_view help,
+                     const base::LatencyHistogram* timer);
+
+  // Prometheus text exposition format: per metric a # HELP line, a # TYPE
+  // line, and the sample(s) — timers as summaries with quantile labels
+  // 0.5 / 0.95 / 0.99 plus _sum and _count. Metrics export sorted by name.
+  std::string TextExport() const;
+
+  // One JSON object keyed by metric name: counters and gauges as numbers,
+  // timers as {"count","sum","max","p50","p95","p99"} — the snapshot
+  // bench_corpus embeds in its bench-JSON label.
+  std::string JsonExport() const;
+
+  size_t metric_count() const;
+
+ private:
+  struct Entry {
+    enum class Kind { kCounter, kGauge, kTimer };
+    Kind kind = Kind::kCounter;
+    std::string help;
+    // At most one of each group is set, matching `kind`.
+    std::unique_ptr<Counter> owned_counter;
+    std::unique_ptr<Gauge> owned_gauge;
+    std::unique_ptr<base::LatencyHistogram> owned_timer;
+    const Counter* counter = nullptr;
+    const base::LatencyHistogram* timer = nullptr;
+    std::function<uint64_t()> counter_fn;
+    std::function<int64_t()> gauge_fn;
+
+    uint64_t CounterValue() const;
+    int64_t GaugeValue() const;
+    const base::LatencyHistogram* Timer() const;
+  };
+
+  Entry& Reset(std::string name, Entry::Kind kind, std::string_view help);
+
+  // Registration and export only; never a query hot path.
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+// Clamps `name` to the Prometheus metric-name charset
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): every invalid character becomes '_', an
+// empty or digit-leading name gains a '_' prefix.
+std::string SanitizeMetricName(std::string_view name);
+
+}  // namespace mhx::obs
+
+#endif  // MHX_OBS_METRICS_H_

@@ -1,0 +1,43 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mhx::obs {
+
+SlowQueryLog::SlowQueryLog(size_t capacity)
+    : capacity_(capacity),
+      slots_(capacity > 0 ? std::make_unique<Slot[]>(capacity) : nullptr) {}
+
+void SlowQueryLog::Record(SlowQueryRecord record) {
+  if (capacity_ == 0) return;
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  record.sequence = ticket;
+  Slot& slot = slots_[ticket % capacity_];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  // A writer that wrapped a full lap while we waited has a higher ticket;
+  // keep the newer record.
+  if (slot.filled && slot.record.sequence > ticket) return;
+  slot.record = std::move(record);
+  slot.filled = true;
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::DumpSlowQueries() const {
+  std::vector<SlowQueryRecord> out;
+  if (capacity_ == 0) return out;
+  out.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.filled) out.push_back(slot.record);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowQueryRecord& a, const SlowQueryRecord& b) {
+              return a.sequence < b.sequence;
+            });
+  return out;
+}
+
+}  // namespace mhx::obs

@@ -480,9 +480,23 @@ class Evaluator {
   // field may reference the coordinator's dead stack frame by then).
   struct LoopShared {
     LoopShared(size_t binding_count, size_t slot_count)
-        : sched(binding_count, slot_count) {}
+        : sched(binding_count, slot_count), slot_traces(slot_count) {}
 
     BindingScheduler sched;
+    // Per-slot trace accumulators for an attached QueryTrace. Exactly one
+    // thread runs each slot, so each entry has a single writer; every
+    // write happens before that slot's final MarkDone (release), and the
+    // coordinator reads only after WaitAllDone (acquire) — race-free with
+    // no extra synchronisation. A stale helper never touches these: it
+    // reads `trace` only after a successful claim, which it cannot get.
+    struct SlotTrace {
+      uint64_t begin_ns = 0;
+      uint64_t end_ns = 0;
+      uint64_t bindings = 0;
+      uint64_t steals = 0;
+      size_t first_binding = std::numeric_limits<size_t>::max();
+    };
+    std::vector<SlotTrace> slot_traces;
     // Bindings with index > cancel_after may be skipped: the loop's result
     // is already determined by the event recorded at cancel_after (an
     // error, or a quantifier decider). Monotonically non-increasing, so a
@@ -554,8 +568,18 @@ class Evaluator {
     size_t index = 0;
     bool stolen = false;
     while (st->sched.Claim(slot, &index, &stolen)) {
+      // The claim succeeded, so the coordinator is alive and every
+      // LoopShared field is safe to touch (the stale-helper hazard is
+      // only before a claim).
       if (stolen) {
-        st->engine->steals_.fetch_add(1, std::memory_order_relaxed);
+        st->engine->counters_->steals.Add();
+      }
+      if (st->options->trace != nullptr) {
+        LoopShared::SlotTrace& t = st->slot_traces[slot];
+        if (t.bindings == 0) t.begin_ns = st->options->trace->NowNs();
+        t.first_binding = std::min(t.first_binding, index);
+        ++t.bindings;
+        if (stolen) ++t.steals;
       }
       const bool skip = st->torn.load(std::memory_order_relaxed) ||
                         index > st->cancel_after.load(std::memory_order_relaxed);
@@ -620,6 +644,11 @@ class Evaluator {
           if (st->thrown == nullptr) st->thrown = std::current_exception();
         }
       }
+      // Stamp before MarkDone: the join may read the instant the last
+      // binding is marked done.
+      if (st->options->trace != nullptr) {
+        st->slot_traces[slot].end_ns = st->options->trace->NowNs();
+      }
       st->sched.MarkDone();
     }
   }
@@ -648,11 +677,13 @@ class Evaluator {
     st->bindings = std::move(seq);
     if (!st->quantified) st->results.resize(n);
 
+    size_t submitted = 0;
     std::exception_ptr submit_error;
     for (size_t s = 1; s < slots; ++s) {
       try {
         pool_->Submit([st, s] { RunLoopSlot(st, s); });
-        engine_->parallel_tasks_.fetch_add(1, std::memory_order_relaxed);
+        engine_->counters_->parallel_tasks.Add();
+        ++submitted;
       } catch (...) {
         // Helpers that never materialise are only lost parallelism — the
         // remaining slots steal the work — but the loop must still tear
@@ -674,6 +705,38 @@ class Evaluator {
     // Join. After WaitAllDone no slot touches the shared state (overlay
     // publication happens before each MarkDone), so the reads below are
     // race-free without st->mu.
+    if (obs::QueryTrace* trace = options_->trace; trace != nullptr) {
+      // Merge the slots' spans in binding order — the order serial
+      // evaluation would have visited each slot's first binding — so a
+      // trace reads deterministically given the steal pattern.
+      std::vector<std::pair<size_t, const LoopShared::SlotTrace*>> active;
+      for (size_t s = 0; s < st->slot_traces.size(); ++s) {
+        if (st->slot_traces[s].bindings > 0) {
+          active.emplace_back(s, &st->slot_traces[s]);
+        }
+      }
+      std::stable_sort(active.begin(), active.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second->first_binding <
+                                b.second->first_binding;
+                       });
+      uint64_t loop_steals = 0;
+      for (const auto& [slot_id, t] : active) {
+        obs::QueryTrace::Span span;
+        span.name = "loop@" + std::to_string(node.offset) + "/slot" +
+                    std::to_string(slot_id);
+        span.kind = obs::QueryTrace::SpanKind::kSlot;
+        span.begin_ns = t->begin_ns;
+        span.end_ns = t->end_ns;
+        span.slot = slot_id;
+        span.bindings = t->bindings;
+        span.steals = t->steals;
+        loop_steals += t->steals;
+        trace->AddSpan(std::move(span));
+      }
+      trace->NoteParallelTasks(submitted);
+      trace->NoteSteals(loop_steals);
+    }
     if (submit_error != nullptr) std::rethrow_exception(submit_error);
     if (st->thrown != nullptr) std::rethrow_exception(st->thrown);
     const bool has_event =
@@ -931,7 +994,7 @@ class Evaluator {
   // benchmark counter with vacuous wins.
   void NoteSortSkipped(const Sequence& items) const {
     if (items.size() < 2) return;
-    engine_->sorts_skipped_.fetch_add(1, std::memory_order_relaxed);
+    engine_->counters_->sorts_skipped.Add();
   }
 
   Status ApplyPredicates(const PathStep& step, size_t offset,
@@ -1410,11 +1473,14 @@ Engine::Engine(const MultihierarchicalDocument* document)
 
 Engine::Engine(const MultihierarchicalDocument* document,
                std::shared_ptr<PlanCache> plans,
-               std::shared_ptr<base::ThreadPool> shared_pool)
+               std::shared_ptr<base::ThreadPool> shared_pool,
+               std::shared_ptr<EngineCounters> counters)
     : document_(document),
       plans_(plans != nullptr ? std::move(plans)
                               : std::make_shared<PlanCache>()),
-      shared_pool_(std::move(shared_pool)) {}
+      shared_pool_(std::move(shared_pool)),
+      counters_(counters != nullptr ? std::move(counters)
+                                    : std::make_shared<EngineCounters>()) {}
 
 Engine::~Engine() = default;
 
@@ -1434,6 +1500,14 @@ const xpath::AxisEvaluator& Engine::axes() {
   // single point that rebuilds them, exactly once per mutation.
   document_->goddag().leaves();
   axes_->index();
+  // Fold new AxisEvaluator rebuilds into the shared counter as a delta, so
+  // the registry total is monotonic across engines sharing one
+  // EngineCounters (index_rebuild_count() stays per-engine).
+  const size_t rebuilds = axes_->index_rebuild_count();
+  if (rebuilds > reported_rebuilds_) {
+    counters_->index_rebuilds.Add(rebuilds - reported_rebuilds_);
+    reported_rebuilds_ = rebuilds;
+  }
   return *axes_;
 }
 
@@ -1475,29 +1549,45 @@ base::ThreadPool* Engine::pool(unsigned threads) {
 
 StatusOr<Engine::EvaluationOutput> Engine::EvaluateInternal(
     std::string_view query, const QueryOptions& options) {
-  MHX_ASSIGN_OR_RETURN(const Expr* expr, PreparedQuery(query));
+  obs::QueryTrace* trace = options.trace;
+  const Expr* expr = nullptr;
+  {
+    // Stage spans are consecutive at this level — each begins where the
+    // previous ended — so a trace's kStage spans tile the call's wall
+    // time (see obs/trace.h).
+    obs::StageTimer stage(trace, "plan_lookup");
+    MHX_ASSIGN_OR_RETURN(expr, PreparedQuery(query));
+  }
   // threads: 0 and 1 are the same request — serial evaluation. Normalising
   // here keeps every later decision (pool creation, ShouldParallelize,
   // slot sizing) on one code path with identical plans and counters.
   QueryOptions normalized = options;
   if (normalized.threads == 0) normalized.threads = 1;
   base::ThreadPool* fan_out_pool = pool(normalized.threads);
-  const xpath::AxisEvaluator& axes_ref = axes();
-  // The evaluation's private read seam: the immutable base, every kept
-  // temporary hierarchy, and (as they are created) the evaluation's own
-  // overlays. No lock is held while evaluating — concurrent evaluations,
-  // analyze-string() included, only share immutable state.
   goddag::OverlayView view(&document_->goddag());
-  for (auto& overlay : SnapshotKept()) view.AddOverlay(std::move(overlay));
+  const xpath::AxisEvaluator* axes_ref = nullptr;
+  {
+    obs::StageTimer stage(trace, "index_materialize");
+    axes_ref = &axes();
+    // The evaluation's private read seam: the immutable base, every kept
+    // temporary hierarchy, and (as they are created) the evaluation's own
+    // overlays. No lock is held while evaluating — concurrent
+    // evaluations, analyze-string() included, only share immutable state.
+    for (auto& overlay : SnapshotKept()) view.AddOverlay(std::move(overlay));
+  }
   std::vector<std::shared_ptr<const goddag::GoddagOverlay>> own;
-  Evaluator evaluator(this, &axes_ref, &normalized, fan_out_pool, &view,
+  Evaluator evaluator(this, axes_ref, &normalized, fan_out_pool, &view,
                       &own);
-  auto result = evaluator.Evaluate(expr->root());
+  StatusOr<Evaluator::Sequence> result = [&] {
+    obs::StageTimer stage(trace, "evaluate");
+    return evaluator.Evaluate(expr->root());
+  }();
   // On error the overlays in `own` (and the view) are dropped right here —
   // that is the entire teardown.
   if (!result.ok()) return result.status();
   // Serialise before returning: node items may live in `own` overlays,
   // which the caller may drop.
+  obs::StageTimer stage(trace, "serialize");
   EvaluationOutput out;
   out.items.reserve(result->size());
   for (const Evaluator::Item& item : *result) {

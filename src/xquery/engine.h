@@ -88,6 +88,8 @@
 #include "base/thread_pool.h"
 #include "goddag/kygoddag.h"
 #include "goddag/overlay.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xpath/axes.h"
 #include "xquery/plan_cache.h"
 
@@ -115,6 +117,24 @@ struct QueryOptions {
   // path step, as the engine did before guarantees existed. Lets tests pin
   // that the guarantee-driven merge path is byte-identical to brute force.
   bool force_step_sort = false;
+  // When set, the evaluation records stage spans (plan lookup, index
+  // materialisation, evaluation, serialisation) and — for parallel loops —
+  // per-slot spans with steal attribution into this trace. The trace must
+  // outlive the call. Null (the default) costs one branch per stage.
+  obs::QueryTrace* trace = nullptr;
+};
+
+// The engine's monotonic counters as registry-compatible instruments,
+// shareable across engines: the corpus service injects one EngineCounters
+// into every engine it builds, so evictions don't reset the totals and
+// MetricsRegistry can point at stable storage. An engine constructed
+// without one gets a private instance — the accessors then report that
+// engine alone, as before.
+struct EngineCounters {
+  obs::Counter sorts_skipped;
+  obs::Counter parallel_tasks;
+  obs::Counter steals;
+  obs::Counter index_rebuilds;
 };
 
 namespace internal {
@@ -185,9 +205,14 @@ class Engine {
   // work-stealing scheduler already tolerates fewer workers than slots,
   // and nested fan-out on a shared pool stays deadlock-free because
   // joins only wait for claimed bindings and help drain the queue).
+  // `counters` joins the same seam: a corpus service injects one shared
+  // EngineCounters so totals survive document eviction and the metrics
+  // registry can point at stable storage; null gets a private instance
+  // (the accessors then report this engine alone, as before).
   Engine(const MultihierarchicalDocument* document,
          std::shared_ptr<PlanCache> plans,
-         std::shared_ptr<base::ThreadPool> shared_pool);
+         std::shared_ptr<base::ThreadPool> shared_pool,
+         std::shared_ptr<EngineCounters> counters = nullptr);
 
   ~Engine();
 
@@ -229,23 +254,31 @@ class Engine {
 
   // Path-step sort+dedup passes the step loop skipped because an ordering
   // guarantee (xpath::Ordering) made them unnecessary — replaced by nothing
-  // (single sorted run) or by a linear merge. Monotonic over the engine's
-  // lifetime; relaxed counter, surfaced by bench_xquery.
+  // (single sorted run) or by a linear merge. Monotonic; thin read over the
+  // obs::Counter (shared across engines when a corpus injected one),
+  // surfaced by bench_xquery.
   size_t sorts_skipped() const {
-    return sorts_skipped_.load(std::memory_order_relaxed);
+    return static_cast<size_t>(counters_->sorts_skipped.value());
   }
 
   // Worker tasks dispatched to the thread pool by parallel loops (the
   // coordinator's own slot is not counted).
   size_t parallel_tasks() const {
-    return parallel_tasks_.load(std::memory_order_relaxed);
+    return static_cast<size_t>(counters_->parallel_tasks.value());
   }
 
   // Binding ranges stolen from a sibling slot's deque by an idle worker —
   // the work-stealing scheduler rebalancing skewed iteration costs.
-  // Monotonic over the engine's lifetime; relaxed counter, surfaced by the
-  // threads-axis benchmarks.
-  size_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  // Monotonic; relaxed counter, surfaced by the threads-axis benchmarks.
+  size_t steals() const {
+    return static_cast<size_t>(counters_->steals.value());
+  }
+
+  // The counter block this engine bumps — for MetricsRegistry registration;
+  // shared_ptr so the registration outlives any one engine.
+  const std::shared_ptr<EngineCounters>& counters() const {
+    return counters_;
+  }
 
  private:
   friend class mhx::MultihierarchicalDocument;
@@ -315,9 +348,11 @@ class Engine {
   // Pools superseded by a larger request; kept alive (idle) because an
   // in-flight evaluation may still hold a pointer to one.
   std::vector<std::unique_ptr<base::ThreadPool>> retired_pools_;
-  std::atomic<size_t> sorts_skipped_{0};
-  std::atomic<size_t> parallel_tasks_{0};
-  std::atomic<size_t> steals_{0};
+  // Never null (private instance when none injected); see EngineCounters.
+  std::shared_ptr<EngineCounters> counters_;
+  // AxisEvaluator rebuilds already folded into counters_->index_rebuilds;
+  // axes() adds the delta under cache_mu_.
+  size_t reported_rebuilds_ = 0;
 };
 
 }  // namespace mhx::xquery

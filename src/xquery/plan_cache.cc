@@ -22,13 +22,13 @@ StatusOr<const Expr*> PlanCache::Prepare(std::string_view query) {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.plans.find(query);
     if (it != shard.plans.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.Add();
       return it->second->value.get();
     }
   }
   auto parsed = ParseQuery(query);  // outside the lock
   if (!parsed.ok()) return parsed.status();
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Add();
   std::lock_guard<std::mutex> lock(shard.mu);
   return internal::StringCacheFindOrEmplace(shard.plans, std::string(query),
                                             std::move(parsed).value())
@@ -42,13 +42,13 @@ StatusOr<const regex::Regex*> PlanCache::CompileRegex(
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.regexes.find(pattern);
     if (it != shard.regexes.end()) {
-      regex_hits_.fetch_add(1, std::memory_order_relaxed);
+      regex_hits_.Add();
       return &it->second->value;
     }
   }
   auto compiled = regex::Regex::Compile(pattern);  // outside the lock
   if (!compiled.ok()) return compiled.status();
-  regex_misses_.fetch_add(1, std::memory_order_relaxed);
+  regex_misses_.Add();
   std::lock_guard<std::mutex> lock(shard.mu);
   return &internal::StringCacheFindOrEmplace(
       shard.regexes, std::string(pattern), std::move(compiled).value());

@@ -20,7 +20,6 @@
 #ifndef MHX_XQUERY_PLAN_CACHE_H_
 #define MHX_XQUERY_PLAN_CACHE_H_
 
-#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -28,6 +27,7 @@
 #include <unordered_map>
 
 #include "base/statusor.h"
+#include "obs/metrics.h"
 #include "regex/regex.h"
 #include "xquery/parser.h"
 
@@ -95,15 +95,19 @@ class PlanCache {
 
   // Relaxed monotonic counters: a Prepare/CompileRegex that found its
   // entry is a hit, one that had to parse/compile is a miss (a lost
-  // insert race still counts as the miss it paid for).
-  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  size_t regex_hits() const {
-    return regex_hits_.load(std::memory_order_relaxed);
-  }
-  size_t regex_misses() const {
-    return regex_misses_.load(std::memory_order_relaxed);
-  }
+  // insert race still counts as the miss it paid for). Thin reads over
+  // the obs::Counter instruments below, kept for source compatibility.
+  size_t hits() const { return hits_.value(); }
+  size_t misses() const { return misses_.value(); }
+  size_t regex_hits() const { return regex_hits_.value(); }
+  size_t regex_misses() const { return regex_misses_.value(); }
+
+  // The instruments themselves, for MetricsRegistry registration; they
+  // live exactly as long as the cache.
+  const obs::Counter& hits_counter() const { return hits_; }
+  const obs::Counter& misses_counter() const { return misses_; }
+  const obs::Counter& regex_hits_counter() const { return regex_hits_; }
+  const obs::Counter& regex_misses_counter() const { return regex_misses_; }
 
   // Distinct plans currently cached (sums the shards; each shard locked in
   // turn, so the count is a snapshot, exact once traffic quiesces).
@@ -120,10 +124,10 @@ class PlanCache {
 
   const size_t shard_count_;
   std::unique_ptr<Shard[]> shards_;
-  std::atomic<size_t> hits_{0};
-  std::atomic<size_t> misses_{0};
-  std::atomic<size_t> regex_hits_{0};
-  std::atomic<size_t> regex_misses_{0};
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter regex_hits_;
+  obs::Counter regex_misses_;
 };
 
 }  // namespace mhx::xquery

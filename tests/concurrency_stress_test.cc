@@ -20,6 +20,7 @@
 #include "base/thread_pool.h"
 #include "corpus/corpus.h"
 #include "document.h"
+#include "obs/trace.h"
 #include "workload/generator.h"
 #include "workload/paper_data.h"
 
@@ -359,6 +360,105 @@ TEST(ConcurrencyStressTest, CorpusOpenEvictQueryKeptRace) {
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(service.stats().heavy_rejections, 0u);
+}
+
+// Observability under churn: a threshold-0 corpus (every query lands in
+// the slow-query ring) serves traced fan-out queries and untraced queries
+// while one thread dumps the slow log and exports metrics in a loop and
+// LRU churn across three documents builds and evicts engines underneath.
+// Exercises the caller-trace path, the internal slow-log trace path, the
+// per-slot scheduler tracing, and the ring's record/dump race at once;
+// the TSan CI lane re-runs this standalone.
+TEST(ConcurrencyStressTest, TracedQueriesSlowLogDumpRaceCorpusChurn) {
+  corpus::CorpusOptions options;
+  options.capacity = 2;
+  options.pool_threads = 2;
+  options.max_heavy_in_flight = 2;
+  options.heavy_queue_limit = 64;
+  options.slow_query_threshold_us = 0;  // capture every query
+  options.slow_query_log_capacity = 8;
+  corpus::CorpusService service(options);
+
+  constexpr int kDocs = 3;
+  const char* kCheapQuery = "/descendant::line";
+  const char* kHeavyQuery =
+      "for $w in /descendant::w[matches(string(.), '.*e.*')] return "
+      "analyze-string($w, '.*e.*')/descendant::leaf()";
+  std::vector<std::string> expected_cheap(kDocs);
+  std::vector<std::string> expected_heavy(kDocs);
+  for (int d = 0; d < kDocs; ++d) {
+    workload::EditionConfig config;
+    config.seed = 71 + d;
+    config.word_count = 60;
+    config.damage_coverage = 0.12;
+    config.restoration_coverage = 0.15;
+    ASSERT_TRUE(service.Register("doc" + std::to_string(d), config).ok());
+    auto direct = workload::BuildEditionDocument(config);
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    auto cheap = direct->Query(kCheapQuery);
+    auto heavy = direct->Query(kHeavyQuery);
+    ASSERT_TRUE(cheap.ok() && heavy.ok());
+    expected_cheap[d] = *cheap;
+    expected_heavy[d] = *heavy;
+  }
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  // Traced clients: each query carries its own caller trace through the
+  // fan-out scheduler; spans must come back well-formed every time.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < StressIters(8); ++i) {
+        const int d = (i + t) % kDocs;
+        const bool heavy = (i + t) % 2 == 0;
+        obs::QueryTrace trace;
+        QueryOptions query_options;
+        query_options.threads = 2;
+        query_options.trace = &trace;
+        auto out = service.Query("doc" + std::to_string(d),
+                                 heavy ? kHeavyQuery : kCheapQuery,
+                                 query_options);
+        if (!out.ok() ||
+            *out != (heavy ? expected_heavy[d] : expected_cheap[d])) {
+          ++failures;
+          continue;
+        }
+        bool saw_evaluate = false;
+        for (const obs::QueryTrace::Span& span : trace.spans()) {
+          if (span.end_ns < span.begin_ns) ++failures;
+          if (span.name == "evaluate") saw_evaluate = true;
+        }
+        if (!saw_evaluate) ++failures;
+      }
+    });
+  }
+  // Untraced client: the default path must not regress or race while
+  // traced queries and the slow log run beside it.
+  threads.emplace_back([&] {
+    for (int i = 0; i < StressIters(12); ++i) {
+      const int d = i % kDocs;
+      auto out = service.Query("doc" + std::to_string(d), kCheapQuery);
+      if (!out.ok() || *out != expected_cheap[d]) ++failures;
+    }
+  });
+  // Observer: dumps the slow-query ring and exports metrics while the
+  // writers above wrap it and the LRU churns documents.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const auto& record : service.DumpSlowQueries()) {
+        if (record.query.empty()) ++failures;  // torn record
+      }
+      if (service.metrics().TextExport().empty()) ++failures;
+      std::this_thread::yield();
+    }
+  });
+  for (size_t i = 0; i + 1 < threads.size(); ++i) threads[i].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads.back().join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(service.stats().slow_queries, 0u);
+  EXPECT_FALSE(service.DumpSlowQueries().empty());
 }
 
 TEST(ConcurrencyStressTest, ThreadPoolSubmitRace) {

@@ -64,6 +64,34 @@ TEST(LatencyHistogramTest, SingleValuePercentilesLandInItsBucket) {
   EXPECT_EQ(h.max(), 1000u);
 }
 
+TEST(LatencyHistogramTest, SumAndTotalCountTrackRecords) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.TotalCount(), 0u);
+  h.Record(3);
+  h.Record(1000);
+  h.Record(70);
+  EXPECT_EQ(h.Sum(), 1073u);
+  EXPECT_EQ(h.TotalCount(), 3u);
+  EXPECT_EQ(h.TotalCount(), h.count());
+}
+
+TEST(LatencyHistogramTest, MergeFoldsBucketsCountSumAndMax) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (uint64_t v = 0; v < 16; ++v) a.Record(v);
+  b.Record(5000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 17u);
+  EXPECT_EQ(a.TotalCount(), 17u);
+  EXPECT_EQ(a.Sum(), 120u + 5000u);
+  EXPECT_EQ(a.max(), 5000u);
+  EXPECT_GE(a.ValueAtQuantile(1.0), 5000u);
+  // b is untouched.
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.Sum(), 5000u);
+}
+
 TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
   LatencyHistogram h;
   constexpr int kThreads = 8;

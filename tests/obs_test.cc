@@ -1,0 +1,274 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// The observability layer in isolation: registry export formats (the
+// Prometheus text contract CI validates end-to-end via check_metrics.py),
+// concurrent counter bumps, histogram aggregation through registered
+// timers, trace span recording, and the slow-query ring's wrap and
+// concurrency behaviour. The cross-stack integration — stage spans from
+// a real corpus query, slot attribution from the scheduler — is covered
+// by corpus_test and tools/metrics_smoke.cc.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/histogram.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+
+namespace mhx::obs {
+namespace {
+
+TEST(SanitizeMetricNameTest, PassesValidNamesThrough) {
+  EXPECT_EQ(SanitizeMetricName("mhx_corpus_builds_total"),
+            "mhx_corpus_builds_total");
+  EXPECT_EQ(SanitizeMetricName("a:b_c9"), "a:b_c9");
+}
+
+TEST(SanitizeMetricNameTest, ClampsInvalidCharacters) {
+  EXPECT_EQ(SanitizeMetricName("mhx.corpus-builds/total"),
+            "mhx_corpus_builds_total");
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+}
+
+TEST(MetricsRegistryTest, OwnedCounterRegisterOnce) {
+  MetricsRegistry registry;
+  Counter* a = registry.AddCounter("mhx_test_total", "a test counter");
+  Counter* b = registry.AddCounter("mhx_test_total", "ignored");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);  // same name -> same instrument
+  a->Add(3);
+  EXPECT_EQ(b->value(), 3u);
+  EXPECT_EQ(registry.metric_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, TextExportShape) {
+  MetricsRegistry registry;
+  registry.AddCounter("mhx_ops_total", "operations")->Add(7);
+  registry.AddGauge("mhx_level", "current level")->Set(-2);
+  base::LatencyHistogram* timer =
+      registry.AddTimer("mhx_latency_us", "latency");
+  timer->Record(100);
+  timer->Record(200);
+
+  const std::string text = registry.TextExport();
+  EXPECT_NE(text.find("# HELP mhx_ops_total operations\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mhx_ops_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("mhx_ops_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mhx_level gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("mhx_level -2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mhx_latency_us summary\n"), std::string::npos);
+  EXPECT_NE(text.find("mhx_latency_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("mhx_latency_us_sum 300\n"), std::string::npos);
+  EXPECT_NE(text.find("mhx_latency_us_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExportShape) {
+  MetricsRegistry registry;
+  registry.AddCounter("mhx_ops_total", "ops")->Add(5);
+  base::LatencyHistogram* timer = registry.AddTimer("mhx_lat_us", "lat");
+  timer->Record(10);
+
+  const std::string json = registry.JsonExport();
+  EXPECT_NE(json.find("\"mhx_ops_total\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"mhx_lat_us\":{\"count\":1,\"sum\":10"),
+            std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistryTest, ExternalInstrumentsReadThrough) {
+  Counter external;
+  MetricsRegistry registry;
+  registry.RegisterCounter("mhx_external_total", "external", &external);
+  registry.RegisterGauge("mhx_callback", "via callback",
+                         [] { return int64_t{42}; });
+  external.Add(9);
+  const std::string text = registry.TextExport();
+  EXPECT_NE(text.find("mhx_external_total 9\n"), std::string::npos);
+  EXPECT_NE(text.find("mhx_callback 42\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentBumpsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.AddCounter("mhx_bumps_total", "bumps");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, RegisteredTimerAggregatesMergedHistograms) {
+  // The bench_corpus shape: per-worker histograms merged into one the
+  // registry exports.
+  base::LatencyHistogram worker_a;
+  base::LatencyHistogram worker_b;
+  for (uint64_t v = 1; v <= 100; ++v) worker_a.Record(v);
+  for (uint64_t v = 101; v <= 200; ++v) worker_b.Record(v);
+
+  base::LatencyHistogram merged;
+  merged.Merge(worker_a);
+  merged.Merge(worker_b);
+  EXPECT_EQ(merged.count(), 200u);
+  EXPECT_EQ(merged.TotalCount(), 200u);
+  EXPECT_EQ(merged.Sum(), worker_a.Sum() + worker_b.Sum());
+
+  MetricsRegistry registry;
+  registry.RegisterTimer("mhx_merged_us", "merged", &merged);
+  const std::string text = registry.TextExport();
+  EXPECT_NE(text.find("mhx_merged_us_count 200\n"), std::string::npos);
+}
+
+TEST(QueryTraceTest, StageTimerRecordsOrderedSpans) {
+  QueryTrace trace;
+  { StageTimer stage(&trace, "first"); }
+  { StageTimer stage(&trace, "second"); }
+  const std::vector<QueryTrace::Span> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "first");
+  EXPECT_EQ(spans[1].name, "second");
+  EXPECT_LE(spans[0].begin_ns, spans[0].end_ns);
+  // Consecutive stages: the second begins at or after the first ended.
+  EXPECT_GE(spans[1].begin_ns, spans[0].end_ns);
+  EXPECT_NE(trace.DebugString().find("first ["), std::string::npos);
+}
+
+TEST(QueryTraceTest, NullTraceIsANoOp) {
+  // The zero-cost contract: a null trace must be constructible and
+  // destructible with no side effects (and, by inspection, no clock
+  // reads or locks).
+  StageTimer stage(nullptr, "never");
+}
+
+TEST(QueryTraceTest, ConcurrentAddSpanIsSafe) {
+  QueryTrace trace;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace] {
+      for (int i = 0; i < kPerThread; ++i) {
+        StageTimer stage(&trace, "racing");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(trace.spans().size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+}
+
+TEST(SlowQueryLogTest, CapturesAndDumpsInOrder) {
+  SlowQueryLog log(/*capacity=*/4);
+  for (uint64_t i = 0; i < 3; ++i) {
+    SlowQueryRecord record;
+    record.query = "q" + std::to_string(i);
+    record.total_us = 100 + i;
+    log.Record(std::move(record));
+  }
+  const std::vector<SlowQueryRecord> dump = log.DumpSlowQueries();
+  ASSERT_EQ(dump.size(), 3u);
+  EXPECT_EQ(dump[0].query, "q0");
+  EXPECT_EQ(dump[2].query, "q2");
+  EXPECT_EQ(dump[0].sequence, 0u);
+  EXPECT_EQ(log.recorded(), 3u);
+}
+
+TEST(SlowQueryLogTest, RingOverwritesOldest) {
+  SlowQueryLog log(/*capacity=*/2);
+  for (uint64_t i = 0; i < 5; ++i) {
+    SlowQueryRecord record;
+    record.query = "q" + std::to_string(i);
+    log.Record(std::move(record));
+  }
+  const std::vector<SlowQueryRecord> dump = log.DumpSlowQueries();
+  ASSERT_EQ(dump.size(), 2u);
+  EXPECT_EQ(dump[0].query, "q3");
+  EXPECT_EQ(dump[1].query, "q4");
+  EXPECT_EQ(log.recorded(), 5u);
+}
+
+TEST(SlowQueryLogTest, ZeroCapacityDropsEverything) {
+  SlowQueryLog log(/*capacity=*/0);
+  SlowQueryRecord record;
+  record.query = "dropped";
+  log.Record(std::move(record));
+  EXPECT_TRUE(log.DumpSlowQueries().empty());
+}
+
+TEST(SlowQueryLogTest, ConcurrentRecordAndDump) {
+  SlowQueryLog log(/*capacity=*/8);
+  std::atomic<bool> stop{false};
+  std::thread dumper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const SlowQueryRecord& r : log.DumpSlowQueries()) {
+        ASSERT_FALSE(r.query.empty());  // never a torn/partial record
+      }
+    }
+  });
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&log, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        SlowQueryRecord record;
+        record.query = "w" + std::to_string(w) + "/" + std::to_string(i);
+        record.total_us = static_cast<uint64_t>(i);
+        log.Record(std::move(record));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  dumper.join();
+  EXPECT_EQ(log.recorded(),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(log.DumpSlowQueries().size(), 8u);
+}
+
+TEST(HistogramMergeTest, MergeIdentityOnEmpty) {
+  base::LatencyHistogram a;
+  base::LatencyHistogram empty;
+  for (uint64_t v : {5u, 50u, 500u}) a.Record(v);
+  const uint64_t p50 = a.ValueAtQuantile(0.5);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.Sum(), 555u);
+  EXPECT_EQ(a.ValueAtQuantile(0.5), p50);  // quantiles unchanged
+}
+
+TEST(HistogramMergeTest, MergedQuantilesMatchSharedRecording) {
+  base::LatencyHistogram shared;
+  base::LatencyHistogram part_a;
+  base::LatencyHistogram part_b;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    shared.Record(v);
+    (v % 2 == 0 ? part_a : part_b).Record(v);
+  }
+  base::LatencyHistogram merged;
+  merged.Merge(part_a);
+  merged.Merge(part_b);
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_EQ(merged.ValueAtQuantile(q), shared.ValueAtQuantile(q)) << q;
+  }
+  EXPECT_EQ(merged.max(), shared.max());
+  EXPECT_EQ(merged.Sum(), shared.Sum());
+  EXPECT_EQ(merged.TotalCount(), shared.TotalCount());
+}
+
+}  // namespace
+}  // namespace mhx::obs

@@ -51,11 +51,42 @@ _RESERVED_KEYS = frozenset([
 ])
 
 
+def label_counters(label):
+    """Flattens a JSON-object benchmark label into informational counters.
+
+    bench_corpus sets its label to a MetricsRegistry::JsonExport()
+    snapshot — a flat object of counters/gauges (numbers) and timers
+    (objects of numbers). Numeric leaves become "obs.<name>" /
+    "obs.<name>.<field>" counters; these names are never in
+    GATED_COUNTERS, so snapshot drift is reported but cannot fail the
+    gate. A non-JSON label (the common benchmark case) yields {}.
+    """
+    if not label:
+        return {}
+    try:
+        snapshot = json.loads(label)
+    except (ValueError, TypeError):
+        return {}
+    if not isinstance(snapshot, dict):
+        return {}
+    out = {}
+    for name, value in snapshot.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[f"obs.{name}"] = float(value)
+        elif isinstance(value, dict):
+            for sub, subvalue in value.items():
+                if (isinstance(subvalue, (int, float))
+                        and not isinstance(subvalue, bool)):
+                    out[f"obs.{name}.{sub}"] = float(subvalue)
+    return out
+
+
 def load_benchmarks(path, metric):
     """Returns {name: (value, time_unit, counters)} for real runs.
 
     `counters` maps user-counter names (any non-reserved numeric field:
-    p50_us, qps, plan_hit_rate, ...) to floats.
+    p50_us, qps, plan_hit_rate, ...) to floats, plus the "obs.*" metrics
+    flattened from a registry-snapshot label (informational only).
     """
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
@@ -76,6 +107,7 @@ def load_benchmarks(path, metric):
             for key, value in bench.items()
             if key not in _RESERVED_KEYS and isinstance(value, (int, float))
         }
+        counters.update(label_counters(bench.get("label")))
         out[name] = (float(bench[metric]), bench.get("time_unit", "ns"),
                      counters)
     return out

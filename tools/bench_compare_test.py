@@ -17,7 +17,7 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 SCRIPT = os.path.join(HERE, "bench_compare.py")
 
 sys.path.insert(0, HERE)
-from bench_compare import compare, load_benchmarks  # noqa: E402
+from bench_compare import compare, label_counters, load_benchmarks  # noqa: E402
 
 
 def bench_json(entries):
@@ -69,6 +69,47 @@ def test_load_collects_user_counters():
                           bench_json([("BM_A", 100.0, counters)]))
         loaded = load_benchmarks(path, "real_time")
     assert loaded["BM_A"] == (100.0, "ns", counters), loaded
+
+
+def test_label_counters_flattens_registry_snapshot():
+    label = json.dumps({
+        "mhx_corpus_builds_total": 10,
+        "mhx_corpus_query_latency_us": {"count": 256, "p95": 420},
+    })
+    flattened = label_counters(label)
+    assert flattened == {
+        "obs.mhx_corpus_builds_total": 10.0,
+        "obs.mhx_corpus_query_latency_us.count": 256.0,
+        "obs.mhx_corpus_query_latency_us.p95": 420.0,
+    }, flattened
+    # Non-JSON labels (the common benchmark case) are ignored.
+    assert label_counters("some plain label") == {}
+    assert label_counters("") == {}
+    assert label_counters(None) == {}
+    assert label_counters("[1, 2]") == {}
+
+
+def test_load_flattens_snapshot_label_informationally():
+    label = json.dumps({"mhx_plan_cache_hits_total": 99})
+    with tempfile.TemporaryDirectory() as tmp:
+        path = write_json(
+            tmp, "a.json",
+            bench_json([("BM_A", 100.0, {"qps": 1000.0, "label": label})]))
+        loaded = load_benchmarks(path, "real_time")
+    counters = loaded["BM_A"][2]
+    assert counters["qps"] == 1000.0
+    assert counters["obs.mhx_plan_cache_hits_total"] == 99.0, counters
+
+
+def test_compare_snapshot_counters_never_gate():
+    baseline = {"BM_A": (100.0, "ns",
+                         {"obs.mhx_corpus_builds_total": 10.0})}
+    candidate = {"BM_A": (100.0, "ns",
+                          {"obs.mhx_corpus_builds_total": 900.0})}
+    lines, regressions = compare(baseline, candidate, threshold=0.20)
+    assert not regressions, regressions
+    assert any("obs.mhx_corpus_builds_total" in line and
+               "informational" in line for line in lines), lines
 
 
 def test_compare_flags_regressions_only_over_threshold():

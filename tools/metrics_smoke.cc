@@ -1,0 +1,139 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// CI smoke driver for the observability stack: builds a 2-document
+// corpus, runs a traced Section-4-shape query at threads=4, and asserts
+// the trace contract from obs/trace.h —
+//   * stage spans are non-overlapping and in pipeline order,
+//   * their total duration is within 10% of the measured wall time,
+//   * the parallel loop reports per-slot spans with binding counts that
+//     sum to the loop's bindings, steals attributed per slot,
+// then dumps the registry's Prometheus TextExport() to stdout for
+// tools/check_metrics.py. Exits non-zero (with a message on stderr) on
+// any violation, so the CI step fails loudly.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "obs/trace.h"
+#include "workload/generator.h"
+
+namespace {
+
+using mhx::corpus::CorpusOptions;
+using mhx::corpus::CorpusService;
+using mhx::obs::QueryTrace;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "metrics_smoke: FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+// The paper's I.2 shape: a `for` over every line — enough bindings to fan
+// out across 4 slots and show work stealing under skewed line costs.
+const char* kTracedQuery = R"(
+for $l in /descendant::line
+return (
+  for $leaf in $l/descendant::leaf()
+  return
+    if ($leaf[ancestor::w[xancestor::dmg or xdescendant::dmg or
+                          overlapping::dmg]])
+    then <b>{$leaf}</b>
+    else $leaf
+  , <br/> ))";
+
+mhx::workload::EditionConfig ConfigFor(size_t i) {
+  mhx::workload::EditionConfig config;
+  config.seed = 404 + i;
+  config.word_count = 160;
+  config.chars_per_line = 32;
+  config.damage_coverage = 0.12;
+  config.restoration_coverage = 0.15;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  CorpusOptions options;
+  options.capacity = 2;
+  options.pool_threads = 4;
+  options.slow_query_threshold_us = 0;  // capture every query
+  options.slow_query_log_capacity = 16;
+  CorpusService corpus(options);
+  Check(corpus.Register("alpha", ConfigFor(0)).ok(), "register alpha");
+  Check(corpus.Register("beta", ConfigFor(1)).ok(), "register beta");
+
+  // Warm both documents and the plan cache so the traced run below
+  // measures serving, not cold builds.
+  mhx::QueryOptions warm;
+  warm.threads = 4;
+  Check(corpus.Query("alpha", kTracedQuery, warm).ok(), "warm alpha");
+  Check(corpus.Query("beta", kTracedQuery, warm).ok(), "warm beta");
+
+  QueryTrace trace;
+  mhx::QueryOptions traced;
+  traced.threads = 4;
+  traced.trace = &trace;
+  const uint64_t wall_begin = trace.NowNs();
+  auto result = corpus.Query("alpha", kTracedQuery, traced);
+  const uint64_t wall_ns = trace.NowNs() - wall_begin;
+  Check(result.ok(), "traced query evaluates");
+
+  std::vector<QueryTrace::Span> stages;
+  std::vector<QueryTrace::Span> slots;
+  for (const QueryTrace::Span& span : trace.spans()) {
+    (span.kind == QueryTrace::SpanKind::kStage ? stages : slots)
+        .push_back(span);
+  }
+  Check(stages.size() >= 3,
+        "traced query reports at least parse/evaluate/serialize stages");
+  std::sort(stages.begin(), stages.end(),
+            [](const QueryTrace::Span& a, const QueryTrace::Span& b) {
+              return a.begin_ns < b.begin_ns;
+            });
+  uint64_t stage_total_ns = 0;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    Check(stages[i].end_ns >= stages[i].begin_ns, "stage span is ordered");
+    Check(i == 0 || stages[i].begin_ns >= stages[i - 1].end_ns,
+          "stage spans do not overlap");
+    stage_total_ns += stages[i].end_ns - stages[i].begin_ns;
+  }
+  Check(stage_total_ns <= wall_ns, "stage total does not exceed wall time");
+  Check(stage_total_ns * 10 >= wall_ns * 9,
+        "stage spans sum to within 10% of wall time");
+
+  Check(!slots.empty(), "parallel loop reports per-slot spans");
+  uint64_t slot_bindings = 0;
+  uint64_t slot_steals = 0;
+  for (const QueryTrace::Span& span : slots) {
+    Check(span.bindings > 0, "slot span has bindings attributed");
+    slot_bindings += span.bindings;
+    slot_steals += span.steals;
+  }
+  Check(slot_bindings > 0, "slots evaluated the loop's bindings");
+  Check(slot_steals == trace.steals(),
+        "per-slot steal attribution matches the trace total");
+
+  const auto slow = corpus.DumpSlowQueries();
+  Check(!slow.empty(), "threshold-0 slow log captured the traffic");
+  Check(corpus.stats().slow_queries == slow.size() ||
+            corpus.stats().slow_queries >= slow.size(),
+        "stats.slow_queries covers the dump");
+
+  std::fputs(corpus.metrics().TextExport().c_str(), stdout);
+  std::fprintf(stderr,
+               "metrics_smoke: OK (wall=%lluus stages=%zu stage_total=%lluus "
+               "slots=%zu steals=%llu slow_log=%zu)\n",
+               static_cast<unsigned long long>(wall_ns / 1000),
+               stages.size(),
+               static_cast<unsigned long long>(stage_total_ns / 1000),
+               slots.size(),
+               static_cast<unsigned long long>(trace.steals()), slow.size());
+  return 0;
+}
