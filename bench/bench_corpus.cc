@@ -250,6 +250,165 @@ BENCHMARK(BM_CorpusMixed)
     ->Args({10, 2})  // intra-query fan-out through the shared pool
     ->UseRealTime();
 
+// --- BM_MutateWhileQuerying --------------------------------------------------
+//
+// The MVCC acceptance lane: the same closed-loop reader traffic as
+// BM_CorpusMixed, but with a writer thread continuously committing and
+// removing a virtual hierarchy on every edition through the corpus write
+// path while the readers run. Readers never block on the writer (that is
+// the MVCC contract; reader latency should sit near the churn-free
+// BM_CorpusMixed lane), and every sampled result is verified to be
+// byte-identical to one of the two quiesced per-version references —
+// the edition without the churn hierarchy or with it, never a mix.
+// Extra counters: writes (committed versions across the run, rate) and
+// writer_p95_us (commit latency; the copy-on-write clone plus the prebuilt
+// RangeIndex is the writer-side cost readers no longer pay).
+
+constexpr size_t kChurnEditions = 4;
+const char kChurnHierarchy[] = "bench-churn";
+
+std::vector<mhx::goddag::VirtualElement> ChurnElements() {
+  return {mhx::goddag::VirtualElement{"churn", mhx::TextRange(5, 25), {}},
+          mhx::goddag::VirtualElement{"churn", mhx::TextRange(40, 77), {}}};
+}
+
+// The with-churn-hierarchy reference, built and committed independently of
+// any CorpusService (same pattern as Expected()).
+const std::string& ExpectedWithChurn(size_t edition, size_t query) {
+  static auto* cache = new std::map<std::pair<size_t, size_t>, std::string>();
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  const auto key = std::make_pair(edition, query);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    auto doc = mhx::workload::BuildEditionDocument(EditionConfigFor(edition));
+    VerifyOrAbort(doc.ok(), "churn reference edition build");
+    auto writer = doc->NewWriter();
+    writer.AddVirtualHierarchy(kChurnHierarchy, ChurnElements());
+    VerifyOrAbort(writer.Commit().ok(), "churn reference commit");
+    auto out = doc->Query(kQueries[query]);
+    VerifyOrAbort(out.ok(), "churn reference query");
+    it = cache->emplace(key, std::move(out).value()).first;
+  }
+  return it->second;
+}
+
+void BM_MutateWhileQuerying(benchmark::State& state) {
+  CorpusOptions options;
+  options.capacity = kChurnEditions;  // resident: committed versions live
+  options.pool_threads = 0;
+  options.max_heavy_in_flight = 2;
+  options.heavy_queue_limit = kClients * 4;
+  options.max_writers_in_flight = 1;
+  options.writer_queue_limit = 4;
+  CorpusService corpus(options);
+  for (size_t i = 0; i < kChurnEditions; ++i) {
+    VerifyOrAbort(corpus.Register(EditionName(i), EditionConfigFor(i)).ok(),
+                  "register edition");
+  }
+  for (size_t e = 0; e < kChurnEditions; ++e) {
+    for (size_t q = 0; q < 4; ++q) {
+      Expected(e, q);
+      ExpectedWithChurn(e, q);
+    }
+  }
+
+  std::vector<std::unique_ptr<mhx::base::LatencyHistogram>> client_latency;
+  for (size_t c = 0; c < kClients; ++c) {
+    client_latency.push_back(std::make_unique<mhx::base::LatencyHistogram>());
+  }
+  mhx::base::LatencyHistogram writer_latency;
+  uint64_t next_op = 0;
+  for (auto _ : state) {
+    std::atomic<int> failures{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      const uint64_t begin = next_op + c * (kOpsPerIteration / kClients);
+      const uint64_t end = begin + kOpsPerIteration / kClients;
+      clients.emplace_back([&, begin, end, c] {
+        for (uint64_t i = begin; i < end; ++i) {
+          const Op base_op = OpFor(i);
+          const Op op{base_op.edition % kChurnEditions, base_op.query};
+          const auto start = std::chrono::steady_clock::now();
+          auto out = corpus.Query(EditionName(op.edition), kQueries[op.query]);
+          const auto end_time = std::chrono::steady_clock::now();
+          client_latency[c]->Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  end_time - start)
+                  .count()));
+          // Membership, not equality: the query pinned either the version
+          // without the churn hierarchy or the one with it. Anything else
+          // is a torn read.
+          if (!out.ok() || (*out != Expected(op.edition, op.query) &&
+                            *out != ExpectedWithChurn(op.edition, op.query))) {
+            ++failures;
+          }
+        }
+      });
+    }
+    // The writer: round-robin commit/remove across editions until the
+    // readers drain. Commits serialise per document; readers never wait.
+    std::thread writer([&] {
+      std::vector<bool> present(kChurnEditions, false);
+      size_t e = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto start = std::chrono::steady_clock::now();
+        auto version =
+            present[e]
+                ? corpus.RemoveVirtualHierarchy(EditionName(e),
+                                                kChurnHierarchy)
+                : corpus.CommitVirtualHierarchy(EditionName(e),
+                                                kChurnHierarchy,
+                                                ChurnElements());
+        const auto end_time = std::chrono::steady_clock::now();
+        writer_latency.Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(end_time -
+                                                                  start)
+                .count()));
+        if (!version.ok()) {
+          ++failures;
+        } else {
+          present[e] = !present[e];
+        }
+        e = (e + 1) % kChurnEditions;
+      }
+    });
+    for (std::thread& client : clients) client.join();
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+    next_op += kOpsPerIteration;
+    VerifyOrAbort(failures.load() == 0,
+                  "every racing result matches one quiesced version");
+  }
+  mhx::base::LatencyHistogram latency;
+  for (const auto& h : client_latency) latency.Merge(*h);
+
+  const CorpusService::Stats stats = corpus.stats();
+  VerifyOrAbort(stats.write_rejections == 0,
+                "no write backpressure at bench sizing");
+  VerifyOrAbort(stats.overlay_id_exhausted == 0,
+                "overlay-id space never exhausts");
+  VerifyOrAbort(stats.writes > 0, "the writer actually committed");
+  state.counters["p50_us"] =
+      static_cast<double>(latency.ValueAtQuantile(0.50));
+  state.counters["p95_us"] =
+      static_cast<double>(latency.ValueAtQuantile(0.95));
+  state.counters["p99_us"] =
+      static_cast<double>(latency.ValueAtQuantile(0.99));
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(latency.count()), benchmark::Counter::kIsRate);
+  state.counters["writes"] = benchmark::Counter(
+      static_cast<double>(stats.writes), benchmark::Counter::kIsRate);
+  state.counters["writer_p95_us"] =
+      static_cast<double>(writer_latency.ValueAtQuantile(0.95));
+  state.counters["live_snapshots"] =
+      static_cast<double>(stats.live_snapshots);
+  state.SetLabel(corpus.metrics().JsonExport());
+}
+BENCHMARK(BM_MutateWhileQuerying)->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

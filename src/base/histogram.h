@@ -22,6 +22,8 @@
 
 namespace mhx::base {
 
+// The lock-free histogram described in the file comment; Record() is safe
+// from any number of threads, readers take a consistent-enough snapshot.
 class LatencyHistogram {
  public:
   LatencyHistogram();

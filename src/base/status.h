@@ -15,6 +15,7 @@
 
 namespace mhx {
 
+// Canonical error space (gRPC-compatible numbering).
 enum class StatusCode : int {
   kOk = 0,
   kInvalidArgument = 3,

@@ -31,6 +31,9 @@
 
 namespace mhx::base {
 
+// The fixed-size fan-out pool described in the file comment: locked FIFO
+// queue, future-based results, and RunPendingTask() so joining threads
+// drain the backlog instead of sleeping on it.
 class ThreadPool {
  public:
   // Spawns `num_threads` workers (at least one).

@@ -27,6 +27,8 @@
 
 namespace mhx::baseline {
 
+// The DEXA'05 single-document fragmentation baseline the paper (and E8)
+// compares the KyGODDAG against; see the file comment for the encoding.
 class FragmentationEncoding {
  public:
   // One logical element rebuilt from its fragments.

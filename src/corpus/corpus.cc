@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "base/status_macros.h"
+#include "goddag/snapshot.h"
 #include "xquery/ast.h"
 
 namespace mhx::corpus {
@@ -77,6 +78,8 @@ CorpusService::CorpusService(const CorpusOptions& options)
     : capacity_(std::max<size_t>(options.capacity, 1)),
       shard_count_(std::max<size_t>(options.shard_count, 1)),
       slow_threshold_us_(options.slow_query_threshold_us),
+      max_writers_in_flight_(options.max_writers_in_flight),
+      writer_queue_limit_(options.writer_queue_limit),
       plans_(std::make_shared<xquery::PlanCache>(options.plan_shards)),
       pool_(options.pool_threads > 0
                 ? std::make_shared<base::ThreadPool>(options.pool_threads)
@@ -133,6 +136,26 @@ void CorpusService::WireMetrics() {
                             "Documents evicted by the LRU", &evictions_);
   registry_.RegisterCounter("mhx_corpus_pins_total",
                             "Explicit Pin() calls", &pins_);
+  registry_.RegisterCounter("mhx_corpus_writes_total",
+                            "Document versions committed via Writers",
+                            &writes_);
+  registry_.RegisterCounter(
+      "mhx_corpus_write_rejected_total",
+      "Writes rejected by per-document write admission",
+      &write_rejections_);
+  registry_.RegisterGauge(
+      "mhx_goddag_live_snapshots",
+      "DocumentSnapshot versions currently alive (process-wide)", [] {
+        return static_cast<int64_t>(goddag::DocumentSnapshot::live_count());
+      });
+  registry_.RegisterCounter(
+      "mhx_engine_snapshot_pins_total",
+      "Snapshot pins taken by evaluations across engines",
+      &engine_counters_->snapshot_pins);
+  registry_.RegisterCounter(
+      "mhx_engine_overlay_id_exhausted_total",
+      "analyze-string calls rejected on overlay-id exhaustion",
+      &engine_counters_->overlay_id_exhausted);
   registry_.RegisterCounter(
       "mhx_corpus_slow_queries_total",
       "Queries captured by the slow-query log",
@@ -174,6 +197,8 @@ Status CorpusService::Register(std::string name,
   auto entry = std::make_unique<Entry>();
   entry->name = name;
   entry->config = config;
+  entry->write_admission = std::make_unique<AdmissionController>(
+      max_writers_in_flight_, writer_queue_limit_);
   shard.entries.emplace(std::move(name), std::move(entry));
   return OkStatus();
 }
@@ -313,6 +338,53 @@ StatusOr<std::string> CorpusService::Query(std::string_view doc_name,
   return result;
 }
 
+StatusOr<uint64_t> CorpusService::MutateDocument(
+    std::string_view doc_name,
+    const std::function<void(MultihierarchicalDocument::Writer&)>&
+        configure) {
+  Entry* entry = FindEntry(doc_name);
+  if (entry == nullptr) {
+    return NotFoundError("document '" + std::string(doc_name) +
+                         "' is not registered");
+  }
+  // Write admission before pinning: a rejected write must not build (or
+  // touch the LRU position of) a cold document.
+  Status admitted = entry->write_admission->Acquire();
+  if (!admitted.ok()) {
+    write_rejections_.Add();
+    return admitted;
+  }
+  AdmissionTicket ticket(entry->write_admission.get());
+  MHX_ASSIGN_OR_RETURN(std::shared_ptr<MultihierarchicalDocument> doc,
+                       Resident(entry));
+  // The pin (`doc`) keeps the instance alive through Commit even if the
+  // LRU evicts it meanwhile; the committed version then dies with the
+  // instance (see the header's durability caveat).
+  MultihierarchicalDocument::Writer writer = doc->NewWriter();
+  configure(writer);
+  MHX_ASSIGN_OR_RETURN(uint64_t version, writer.Commit());
+  writes_.Add();
+  return version;
+}
+
+StatusOr<uint64_t> CorpusService::CommitVirtualHierarchy(
+    std::string_view doc_name, std::string hierarchy_name,
+    std::vector<goddag::VirtualElement> elements) {
+  return MutateDocument(
+      doc_name, [&](MultihierarchicalDocument::Writer& writer) {
+        writer.AddVirtualHierarchy(std::move(hierarchy_name),
+                                   std::move(elements));
+      });
+}
+
+StatusOr<uint64_t> CorpusService::RemoveVirtualHierarchy(
+    std::string_view doc_name, std::string_view hierarchy_name) {
+  return MutateDocument(
+      doc_name, [&](MultihierarchicalDocument::Writer& writer) {
+        writer.RemoveVirtualHierarchy(std::string(hierarchy_name));
+      });
+}
+
 StatusOr<std::shared_ptr<const MultihierarchicalDocument>> CorpusService::Pin(
     std::string_view doc_name) {
   Entry* entry = FindEntry(doc_name);
@@ -343,6 +415,13 @@ CorpusService::Stats CorpusService::stats() const {
   stats.heavy_in_flight = heavy_admission_.in_flight();
   stats.heavy_waiting = heavy_admission_.waiting();
   stats.slow_queries = static_cast<size_t>(slow_log_.recorded());
+  stats.writes = static_cast<size_t>(writes_.value());
+  stats.write_rejections = static_cast<size_t>(write_rejections_.value());
+  stats.live_snapshots = goddag::DocumentSnapshot::live_count();
+  stats.snapshot_pins =
+      static_cast<size_t>(engine_counters_->snapshot_pins.value());
+  stats.overlay_id_exhausted =
+      static_cast<size_t>(engine_counters_->overlay_id_exhausted.value());
   return stats;
 }
 

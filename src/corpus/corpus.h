@@ -32,6 +32,18 @@
 // ResourceExhausted immediately — backpressure the caller can see —
 // so cheap path queries (never queued) aren't starved behind a wall of
 // analyze-string work.
+//
+// Writes: CommitVirtualHierarchy / RemoveVirtualHierarchy route through the
+// document's MVCC Writer (see CONCURRENCY.md), so commits never block the
+// query traffic above — readers keep evaluating against their pinned
+// snapshots while the writer prepares and publishes the next version.
+// Writes get their own per-document admission (max_writers_in_flight /
+// writer_queue_limit), separate from heavy-query admission: a burst of
+// commits backs up on its own bounded queue instead of competing with
+// analyze-string work. Caveat: a commit pins the document resident first;
+// if the LRU evicts it afterwards, a later rebuild starts from the
+// registered EditionConfig and the committed versions are gone — corpus
+// writes are serving-time annotations, not durable storage.
 
 #ifndef MHX_CORPUS_CORPUS_H_
 #define MHX_CORPUS_CORPUS_H_
@@ -39,6 +51,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <list>
 #include <memory>
@@ -64,6 +77,7 @@ namespace mhx::corpus {
 inline constexpr uint64_t kNoSlowQueryLog =
     std::numeric_limits<uint64_t>::max();
 
+// Service-construction knobs; every field has a safe default.
 struct CorpusOptions {
   // Maximum resident (built) documents; clamped to at least 1. Eviction is
   // strict LRU by last query.
@@ -78,6 +92,13 @@ struct CorpusOptions {
   size_t max_heavy_in_flight = 4;
   // Heavy queries allowed to wait for a slot before ResourceExhausted.
   size_t heavy_queue_limit = 16;
+  // Concurrent Writer commits admitted per document; 0 rejects all writes.
+  // Commits serialise on the document's writer mutex anyway, so >1 only
+  // moves the wait from admission to that mutex.
+  size_t max_writers_in_flight = 1;
+  // Writes allowed to wait for a per-document slot before
+  // ResourceExhausted.
+  size_t writer_queue_limit = 8;
   // Shards of the process-wide PlanCache.
   size_t plan_shards = 16;
   // Completed queries at or above this wall time (µs) are captured in the
@@ -104,9 +125,17 @@ class AdmissionController {
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
 
+  // Takes a slot. Blocking behavior: returns Ok immediately when a slot is
+  // free, waits on the condition variable while at most queue_limit callers
+  // are already waiting, and returns ResourceExhausted without blocking
+  // beyond the mutex otherwise. Thread-safe.
   Status Acquire();
+  // Returns a slot taken by an Ok Acquire and wakes one waiter.
+  // Thread-safe.
   void Release();
 
+  // Point-in-time queue depths and the rejection total. Thread-safe; the
+  // values may be stale by the time the caller reads them.
   size_t in_flight() const;
   size_t waiting() const;
   size_t rejected() const {
@@ -139,6 +168,11 @@ class CorpusService {
     size_t heavy_in_flight = 0;
     size_t heavy_waiting = 0;
     size_t slow_queries = 0;  // captured by the slow-query log, ever
+    size_t writes = 0;             // committed document versions
+    size_t write_rejections = 0;   // writes refused by write admission
+    size_t live_snapshots = 0;     // DocumentSnapshots alive process-wide
+    size_t snapshot_pins = 0;      // evaluation snapshot pins, all engines
+    size_t overlay_id_exhausted = 0;  // analyze-string id-space rejections
   };
 
   explicit CorpusService(const CorpusOptions& options);
@@ -156,23 +190,51 @@ class CorpusService {
   // it if cold, evicting the LRU victim if that overflows capacity — and
   // evaluate through the shared plan cache and pool. NotFound for an
   // unregistered name; parse errors surface before any document is built;
-  // ResourceExhausted is admission backpressure.
+  // ResourceExhausted is admission backpressure. Thread-safety class:
+  // pinned-snapshot read (CONCURRENCY.md) — never blocked by commits;
+  // heavy queries may wait in admission, cold documents in the build.
   StatusOr<std::string> Query(std::string_view doc_name,
                               std::string_view query,
                               const QueryOptions& options = {});
 
   // Pins the named document resident (building it if needed) and returns
   // the pin. The document stays alive while the caller holds it, even
-  // across eviction; holding a pin does not block eviction.
+  // across eviction; holding a pin does not block eviction. Thread-safe;
+  // blocks only while a cold document builds.
   StatusOr<std::shared_ptr<const MultihierarchicalDocument>> Pin(
       std::string_view doc_name);
 
+  // Commits a virtual hierarchy (offset-anchored elements under a
+  // whole-text root named `hierarchy_name`) as the named document's next
+  // MVCC version and returns the published version number. In-flight and
+  // future readers of older versions are never blocked (see the write-path
+  // contract above). NotFound for an unregistered name; ResourceExhausted
+  // is write-admission backpressure; any Writer::Commit error (name
+  // collision, bad ranges) aborts with nothing published. Thread-safety
+  // class: writer-path (CONCURRENCY.md) — waits only in write admission
+  // and behind other committing writers of the same document.
+  StatusOr<uint64_t> CommitVirtualHierarchy(
+      std::string_view doc_name, std::string hierarchy_name,
+      std::vector<goddag::VirtualElement> elements);
+
+  // Commits removal of the active virtual hierarchy named
+  // `hierarchy_name` (highest table slot when several share the name) as
+  // the next version. Same error and blocking contract as
+  // CommitVirtualHierarchy; NotFound when no such hierarchy is active.
+  StatusOr<uint64_t> RemoveVirtualHierarchy(std::string_view doc_name,
+                                            std::string_view hierarchy_name);
+
+  // Point-in-time service counters (see Stats). Thread-safe and never
+  // blocks query or write traffic; exact once traffic quiesces.
   Stats stats() const;
 
   // How many times the named document has been built (0 = never, 2+ =
   // rebuilt after eviction). NotFound for an unregistered name.
+  // Thread-safe.
   StatusOr<size_t> BuildCount(std::string_view doc_name) const;
 
+  // The process-wide plan cache every engine of this service shares.
+  // Thread-safe (the cache has its own sharded locking).
   const std::shared_ptr<xquery::PlanCache>& plans() const { return plans_; }
 
   // The service's metric directory (`mhx_*` namespace, see DESIGN.md
@@ -193,6 +255,9 @@ class CorpusService {
     std::string name;
     workload::EditionConfig config;
     std::mutex build_mu;  // serialises BuildEditionDocument for this entry
+    // Per-document write admission (see CorpusOptions); created at
+    // Register, so it survives eviction along with the entry.
+    std::unique_ptr<AdmissionController> write_admission;
     // --- guarded by lru_mu_ ---
     std::shared_ptr<MultihierarchicalDocument> doc;  // null when cold
     std::list<Entry*>::iterator lru_it;  // valid iff doc != nullptr
@@ -215,12 +280,21 @@ class CorpusService {
   StatusOr<std::string> QueryTraced(Entry* entry, std::string_view query,
                                     const QueryOptions& options,
                                     obs::QueryTrace* trace);
+  // Shared write path: resolve the entry, pass write admission, pin the
+  // document resident, let `configure` queue ops on a fresh Writer, and
+  // Commit. Both public mutators land here.
+  StatusOr<uint64_t> MutateDocument(
+      std::string_view doc_name,
+      const std::function<void(MultihierarchicalDocument::Writer&)>&
+          configure);
   // Registers every instrument with registry_; construction only.
   void WireMetrics();
 
   const size_t capacity_;
   const size_t shard_count_;
   const uint64_t slow_threshold_us_;
+  const size_t max_writers_in_flight_;
+  const size_t writer_queue_limit_;
   std::shared_ptr<xquery::PlanCache> plans_;
   std::shared_ptr<base::ThreadPool> pool_;  // null when pool_threads == 0
   // One counter block shared by every engine the service builds, so
@@ -239,6 +313,10 @@ class CorpusService {
   obs::Counter evictions_;
   obs::Counter pins_;
   obs::Counter queries_;
+  // Committed document versions / writes refused by per-document admission
+  // (service-wide totals; admission itself is per entry).
+  obs::Counter writes_;
+  obs::Counter write_rejections_;
   // Wall time of every completed Query(), traced or not, in µs.
   base::LatencyHistogram query_latency_;
   // Declared last: its external registrations point at the members above.

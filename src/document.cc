@@ -46,6 +46,153 @@ StatusOr<MultihierarchicalDocument> MultihierarchicalDocument::Builder::
   return MultihierarchicalDocument(std::move(goddag));
 }
 
+MultihierarchicalDocument::MultihierarchicalDocument(
+    std::unique_ptr<goddag::KyGoddag> g)
+    : head_(std::move(g)),
+      // Version 1; the index stays lazy so Build() cost is unchanged — the
+      // engine's first evaluation builds it once.
+      current_(goddag::DocumentSnapshot::Create(head_, /*version=*/1,
+                                                /*prebuild_index=*/false)),
+      engine_mu_(std::make_unique<std::mutex>()),
+      snapshot_mu_(std::make_unique<std::mutex>()),
+      writer_mu_(std::make_unique<std::mutex>()) {}
+
+std::shared_ptr<const goddag::DocumentSnapshot>
+MultihierarchicalDocument::PinSnapshot() const {
+  std::lock_guard<std::mutex> lock(*snapshot_mu_);
+  return current_;
+}
+
+uint64_t MultihierarchicalDocument::version() const {
+  std::lock_guard<std::mutex> lock(*snapshot_mu_);
+  return current_->version();
+}
+
+// --- Writer ------------------------------------------------------------------
+
+MultihierarchicalDocument::Writer& MultihierarchicalDocument::Writer::
+    AddHierarchy(std::string name, std::string xml) {
+  Op op;
+  op.kind = Op::Kind::kAddXml;
+  op.name = std::move(name);
+  op.xml = std::move(xml);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+MultihierarchicalDocument::Writer& MultihierarchicalDocument::Writer::
+    AddVirtualHierarchy(std::string name,
+                        std::vector<goddag::VirtualElement> elements) {
+  Op op;
+  op.kind = Op::Kind::kAddVirtual;
+  op.name = std::move(name);
+  op.elements = std::move(elements);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+MultihierarchicalDocument::Writer& MultihierarchicalDocument::Writer::
+    RemoveVirtualHierarchy(std::string hierarchy_name) {
+  Op op;
+  op.kind = Op::Kind::kRemoveVirtual;
+  op.name = std::move(hierarchy_name);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+namespace {
+
+// An active virtual hierarchy named `name` — the highest table slot when
+// several share the name — or NotFound.
+StatusOr<goddag::HierarchyId> FindActiveVirtualHierarchy(
+    const goddag::KyGoddag& g, const std::string& name) {
+  bool found = false;
+  goddag::HierarchyId result = 0;
+  for (goddag::HierarchyId id = 0; id < g.hierarchy_table_size(); ++id) {
+    const goddag::Hierarchy& h = g.hierarchy(id);
+    if (h.active && h.is_virtual && h.name == name) {
+      result = id;
+      found = true;
+    }
+  }
+  if (!found) {
+    return NotFoundError("no active virtual hierarchy named '" + name + "'");
+  }
+  return result;
+}
+
+Status CheckHierarchyNameFree(const goddag::KyGoddag& g,
+                              const std::string& name) {
+  for (goddag::HierarchyId id = 0; id < g.hierarchy_table_size(); ++id) {
+    const goddag::Hierarchy& h = g.hierarchy(id);
+    if (h.active && h.name == name) {
+      return InvalidArgumentError("hierarchy name '" + name +
+                                  "' is already in use");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<uint64_t> MultihierarchicalDocument::Writer::Commit() {
+  if (committed_) {
+    return FailedPreconditionError("Writer::Commit may only run once");
+  }
+  committed_ = true;
+  MultihierarchicalDocument* doc = doc_;
+  // Serialise against other committing writers only; readers pinning the
+  // published snapshot never touch writer_mu_.
+  std::lock_guard<std::mutex> writer_lock(*doc->writer_mu_);
+  std::shared_ptr<const goddag::DocumentSnapshot> base = doc->PinSnapshot();
+  // Copy-on-write: every mutation lands in a private clone. An error below
+  // drops the clone; nothing was published.
+  std::shared_ptr<goddag::KyGoddag> next = base->goddag().Clone();
+  for (Op& op : ops_) {
+    switch (op.kind) {
+      case Op::Kind::kAddXml: {
+        MHX_RETURN_IF_ERROR(CheckHierarchyNameFree(*next, op.name));
+        auto parsed = xml::Parse(op.xml);
+        if (!parsed.ok()) {
+          return Status(parsed.status().code(),
+                        "hierarchy '" + op.name +
+                            "': " + parsed.status().message());
+        }
+        auto hid = next->AddHierarchy(op.name, *parsed);
+        if (!hid.ok()) return hid.status();
+        break;
+      }
+      case Op::Kind::kAddVirtual: {
+        auto hid =
+            next->AddVirtualHierarchy(op.name, std::move(op.elements));
+        if (!hid.ok()) return hid.status();
+        break;
+      }
+      case Op::Kind::kRemoveVirtual: {
+        MHX_ASSIGN_OR_RETURN(goddag::HierarchyId hid,
+                             FindActiveVirtualHierarchy(*next, op.name));
+        MHX_RETURN_IF_ERROR(next->RemoveVirtualHierarchy(hid));
+        break;
+      }
+    }
+  }
+  // The writer pays for the new version's leaf partition and RangeIndex
+  // here, before publication, so readers repinning after the swap never
+  // rebuild anything (`index_rebuilds` stays flat across commits).
+  auto snapshot = goddag::DocumentSnapshot::Create(
+      next, base->version() + 1, /*prebuild_index=*/true);
+  const uint64_t version = snapshot->version();
+  {
+    // The entire epoch swap: two pointer assignments under the pin mutex.
+    std::lock_guard<std::mutex> lock(*doc->snapshot_mu_);
+    doc->head_ = std::move(next);
+    doc->current_ = std::move(snapshot);
+  }
+  return version;
+}
+
+// --- queries -----------------------------------------------------------------
+
 StatusOr<std::string> MultihierarchicalDocument::Query(
     std::string_view query) const {
   return engine()->Evaluate(query);

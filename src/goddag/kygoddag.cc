@@ -6,10 +6,11 @@
 
 namespace mhx::goddag {
 
-KyGoddag::KyGoddag(std::string base_text) : base_text_(std::move(base_text)) {
+KyGoddag::KyGoddag(std::string base_text)
+    : base_text_(std::make_shared<const std::string>(std::move(base_text))) {
   GNode root;
   root.kind = GNodeKind::kRoot;
-  root.range = TextRange(0, base_text_.size());
+  root.range = TextRange(0, base_text_->size());
   nodes_.push_back(std::move(root));
 }
 
@@ -68,19 +69,20 @@ NodeId KyGoddag::ConvertXmlElement(const xml::Element& element,
 
 StatusOr<HierarchyId> KyGoddag::AddHierarchy(const std::string& name,
                                              const xml::Document& doc) {
-  if (doc.text != base_text_) {
+  const std::string& base = *base_text_;
+  if (doc.text != base) {
     std::string detail;
-    if (doc.text.size() != base_text_.size()) {
+    if (doc.text.size() != base.size()) {
       detail = "content length " + std::to_string(doc.text.size()) +
-               " vs base " + std::to_string(base_text_.size());
+               " vs base " + std::to_string(base.size());
     } else {
       size_t diff = 0;
-      while (diff < doc.text.size() && doc.text[diff] == base_text_[diff]) {
+      while (diff < doc.text.size() && doc.text[diff] == base[diff]) {
         ++diff;
       }
       detail = "first difference at offset " + std::to_string(diff) + " ('" +
                doc.text.substr(diff, 8) + "' vs '" +
-               base_text_.substr(diff, 8) + "')";
+               base.substr(diff, 8) + "')";
     }
     return InvalidArgumentError("hierarchy '" + name +
                                 "' does not encode the base text (" + detail +
@@ -144,7 +146,7 @@ Status SortAndValidateVirtualElements(size_t text_size,
 
 StatusOr<HierarchyId> KyGoddag::AddVirtualHierarchy(
     const std::string& name, std::vector<VirtualElement> elements) {
-  const size_t n = base_text_.size();
+  const size_t n = base_text_->size();
   MHX_RETURN_IF_ERROR(SortAndValidateVirtualElements(n, &elements));
 
   HierarchyId hid = AllocateHierarchySlot();
@@ -235,26 +237,20 @@ void KyGoddag::NoteElementRemoved(const TextRange& range) {
 }
 
 void KyGoddag::NoteBoundaryAdded(size_t pos) {
-  if (base_text_.empty()) return;  // the partition is empty either way
+  if (base_text_->empty()) return;  // the partition is empty either way
   if (!incremental_leaves_ || leaves_dirty_) {
     leaves_dirty_ = true;
     return;
   }
   if (++boundary_refs_[pos] != 1) return;
   // New boundary: split the leaf that strictly contains `pos`. (pos cannot
-  // be 0 or n — those carry permanent sentinel refs.)
-  auto it = std::upper_bound(leaves_.begin(), leaves_.end(), pos,
-                             [](size_t p, const Leaf& leaf) {
-                               return p < leaf.range.end;
-                             });
-  // it -> the leaf whose end is the first > pos, i.e. the leaf containing pos.
-  size_t leaf_end = it->range.end;
-  it->range.end = pos;
-  leaves_.insert(it + 1, Leaf{TextRange(pos, leaf_end)});
+  // be 0 or n — those carry permanent sentinel refs.) The tiered partition
+  // makes this O(log chunks + chunk), the E10 fix.
+  leaves_.InsertBoundary(pos);
 }
 
 void KyGoddag::NoteBoundaryRemoved(size_t pos) {
-  if (base_text_.empty()) return;
+  if (base_text_->empty()) return;
   if (!incremental_leaves_ || leaves_dirty_) {
     leaves_dirty_ = true;
     return;
@@ -267,20 +263,14 @@ void KyGoddag::NoteBoundaryRemoved(size_t pos) {
   if (--ref->second != 0) return;
   boundary_refs_.erase(ref);
   // Merge the leaf ending at `pos` with its successor.
-  auto it = std::lower_bound(leaves_.begin(), leaves_.end(), pos,
-                             [](const Leaf& leaf, size_t p) {
-                               return leaf.range.end < p;
-                             });
-  // it -> the leaf with range.end == pos.
-  (it + 1)->range.begin = it->range.begin;
-  leaves_.erase(it);
+  leaves_.EraseBoundary(pos);
 }
 
 void KyGoddag::RebuildLeaves() const {
   boundary_refs_.clear();
-  leaves_.clear();
-  const size_t n = base_text_.size();
+  const size_t n = base_text_->size();
   if (n == 0) {
+    leaves_.Clear();
     leaves_dirty_ = false;
     return;
   }
@@ -292,24 +282,18 @@ void KyGoddag::RebuildLeaves() const {
     ++boundary_refs_[node.range.begin];
     ++boundary_refs_[node.range.end];
   }
-  leaves_.reserve(boundary_refs_.size() - 1);
-  auto it = boundary_refs_.begin();
-  size_t prev = it->first;
-  for (++it; it != boundary_refs_.end(); ++it) {
-    leaves_.push_back(Leaf{TextRange(prev, it->first)});
-    prev = it->first;
-  }
+  leaves_.AssignFromBoundaries(boundary_refs_);
   leaves_dirty_ = false;
 }
 
 const std::vector<Leaf>& KyGoddag::leaves() const {
   if (leaves_dirty_) RebuildLeaves();
-  return leaves_;
+  return leaves_.Flatten();
 }
 
 std::string KyGoddag::NodeString(NodeId id) const {
   const TextRange& r = nodes_[id].range;
-  return base_text_.substr(r.begin, r.length());
+  return base_text_->substr(r.begin, r.length());
 }
 
 }  // namespace mhx::goddag

@@ -14,15 +14,25 @@
 // described by the sorted set of element boundary offsets, and all extended
 // axis semantics reduce to interval arithmetic on node ranges (see
 // xpath/axes.h). The partition is maintained either incrementally (boundary
-// refcounts plus an in-place splice of the leaf vector — the default) or by
-// a full lazy rebuild that rescans every node; `set_incremental_leaves`
-// toggles the two so the E10 ablation can measure the difference.
+// refcounts plus a tiered-vector splice, goddag/leaves.h — the default; a
+// splice is O(log chunks + chunk), not O(partition)) or by a full lazy
+// rebuild that rescans every node; `set_incremental_leaves` toggles the two
+// so the E10 ablation can measure the difference.
+//
+// Thread-safety: unsynchronized — a KyGoddag is mutated only on the writer
+// path (Builder::Build, Writer::Commit on a private Clone(), or the legacy
+// mutable_goddag() escape hatch) and read concurrently only once published
+// inside an immutable DocumentSnapshot (goddag/snapshot.h, CONCURRENCY.md).
+// Clone() is the MVCC copy-on-write step: the node table, hierarchy table,
+// and leaf partition are copied; the base text is shared (refcounted, never
+// mutated after construction).
 
 #ifndef MHX_GODDAG_KYGODDAG_H_
 #define MHX_GODDAG_KYGODDAG_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +40,7 @@
 #include "base/status_macros.h"
 #include "base/statusor.h"
 #include "base/text_range.h"
+#include "goddag/leaves.h"
 #include "xml/parser.h"
 
 namespace mhx::goddag {
@@ -39,12 +50,15 @@ using HierarchyId = uint32_t;
 
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
+// What a node-table slot currently holds.
 enum class GNodeKind : uint8_t {
   kFree = 0,  // recycled slot, not part of the document
   kRoot,      // the unique GODDAG root above all hierarchy roots
   kElement,
 };
 
+// One node-table entry: the element's identity plus its parent/children
+// arcs within its own hierarchy and the base-text range it dominates.
 struct GNode {
   GNodeKind kind = GNodeKind::kFree;
   HierarchyId hierarchy = 0;
@@ -56,6 +70,7 @@ struct GNode {
   std::vector<NodeId> children;   // element children in document order
 };
 
+// One markup hierarchy (persistent or virtual) over the shared base text.
 struct Hierarchy {
   std::string name;
   NodeId root = kInvalidNode;
@@ -74,11 +89,6 @@ struct VirtualElement {
   std::vector<std::pair<std::string, std::string>> attributes;
 };
 
-// One cell of the shared leaf partition.
-struct Leaf {
-  TextRange range;
-};
-
 // Sorts `elements` into document order (range begin ascending, containing
 // element before contained) and validates them as one tree over a base text
 // of `text_size` characters: every range non-empty and in bounds, no two
@@ -92,10 +102,19 @@ class KyGoddag {
  public:
   explicit KyGoddag(std::string base_text);
 
-  KyGoddag(const KyGoddag&) = delete;
   KyGoddag& operator=(const KyGoddag&) = delete;
   KyGoddag(KyGoddag&&) = default;
   KyGoddag& operator=(KyGoddag&&) = default;
+
+  // Deep-copies the node table, hierarchy table, and leaf partition; shares
+  // the (immutable) base text. The clone starts at this goddag's revision
+  // and is the MVCC writer's private working copy — mutations to either
+  // side are invisible to the other. O(nodes + leaves); unsynchronized,
+  // the source must be quiesced (Writer::Commit clones a published
+  // snapshot's goddag, which is).
+  std::unique_ptr<KyGoddag> Clone() const {
+    return std::unique_ptr<KyGoddag>(new KyGoddag(*this));
+  }
 
   // Merges a parsed XML encoding of the base text as a new persistent
   // hierarchy. The document's character content must equal base_text().
@@ -113,7 +132,7 @@ class KyGoddag {
   // removed.
   Status RemoveVirtualHierarchy(HierarchyId id);
 
-  const std::string& base_text() const { return base_text_; }
+  const std::string& base_text() const { return *base_text_; }
   NodeId root() const { return 0; }
 
   const GNode& node(NodeId id) const { return nodes_[id]; }
@@ -144,6 +163,8 @@ class KyGoddag {
   uint64_t revision() const { return revision_; }
 
  private:
+  KyGoddag(const KyGoddag&) = default;  // via Clone() only
+
   NodeId AllocateNode();
   void FreeNode(NodeId id);
   NodeId ConvertXmlElement(const xml::Element& element, HierarchyId hierarchy,
@@ -155,7 +176,8 @@ class KyGoddag {
   void NoteElementRemoved(const TextRange& range);
   void RebuildLeaves() const;
 
-  std::string base_text_;
+  // Shared across Clone() copies; immutable after construction.
+  std::shared_ptr<const std::string> base_text_;
   std::vector<GNode> nodes_;
   std::vector<NodeId> free_nodes_;
   std::vector<Hierarchy> hierarchies_;
@@ -167,8 +189,10 @@ class KyGoddag {
   // Leaf partition cache. `boundary_refs_` maps a boundary offset to the
   // number of live element endpoints at that offset (offsets 0 and n carry a
   // permanent sentinel ref). It is authoritative only while `!leaves_dirty_`;
-  // a full rebuild reconstructs it from the node table.
-  mutable std::vector<Leaf> leaves_;
+  // a full rebuild reconstructs it from the node table. The partition itself
+  // is tiered (goddag/leaves.h) so incremental splices are cheap; leaves()
+  // reads its cached flat view.
+  mutable TieredLeafPartition leaves_;
   mutable std::map<size_t, uint32_t> boundary_refs_;
   mutable bool leaves_dirty_ = true;
 };

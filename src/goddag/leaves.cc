@@ -1,0 +1,121 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "goddag/leaves.h"
+
+#include <algorithm>
+
+namespace mhx::goddag {
+
+void TieredLeafPartition::Clear() {
+  chunks_.clear();
+  chunk_ends_.clear();
+  size_ = 0;
+  flat_.clear();
+  flat_dirty_ = false;
+}
+
+void TieredLeafPartition::AssignFromBoundaries(
+    const std::map<size_t, uint32_t>& boundary_refs) {
+  Clear();
+  if (boundary_refs.size() < 2) return;
+  std::vector<Leaf> chunk;
+  chunk.reserve(kTargetChunkCells);
+  auto it = boundary_refs.begin();
+  size_t prev = it->first;
+  for (++it; it != boundary_refs.end(); ++it) {
+    chunk.push_back(Leaf{TextRange(prev, it->first)});
+    prev = it->first;
+    ++size_;
+    if (chunk.size() == kTargetChunkCells) {
+      chunk_ends_.push_back(chunk.back().range.end);
+      chunks_.push_back(std::move(chunk));
+      chunk = {};
+      chunk.reserve(kTargetChunkCells);
+    }
+  }
+  if (!chunk.empty()) {
+    chunk_ends_.push_back(chunk.back().range.end);
+    chunks_.push_back(std::move(chunk));
+  }
+  flat_dirty_ = true;
+}
+
+void TieredLeafPartition::InsertBoundary(size_t pos) {
+  // The chunk containing `pos` is the first whose last end exceeds it (`pos`
+  // is strictly inside a leaf, so it can never equal a chunk end).
+  const size_t ci = static_cast<size_t>(
+      std::upper_bound(chunk_ends_.begin(), chunk_ends_.end(), pos) -
+      chunk_ends_.begin());
+  std::vector<Leaf>& chunk = chunks_[ci];
+  auto it = std::upper_bound(chunk.begin(), chunk.end(), pos,
+                             [](size_t p, const Leaf& leaf) {
+                               return p < leaf.range.end;
+                             });
+  // it -> the leaf whose end is the first > pos, i.e. the leaf containing
+  // pos. Split it; the chunk's final end is unchanged.
+  const size_t leaf_end = it->range.end;
+  it->range.end = pos;
+  chunk.insert(it + 1, Leaf{TextRange(pos, leaf_end)});
+  ++size_;
+  flat_dirty_ = true;
+  SplitChunkIfOversized(ci);
+}
+
+void TieredLeafPartition::EraseBoundary(size_t pos) {
+  // The leaf ending at `pos` may be the last of its chunk, so locate with
+  // end >= pos (lower_bound), not end > pos.
+  const size_t ci = static_cast<size_t>(
+      std::lower_bound(chunk_ends_.begin(), chunk_ends_.end(), pos) -
+      chunk_ends_.begin());
+  std::vector<Leaf>& chunk = chunks_[ci];
+  auto it = std::lower_bound(chunk.begin(), chunk.end(), pos,
+                             [](const Leaf& leaf, size_t p) {
+                               return leaf.range.end < p;
+                             });
+  // it -> the leaf with range.end == pos. Its successor absorbs it; `pos`
+  // is interior, so a successor always exists (possibly in the next chunk).
+  const size_t merged_begin = it->range.begin;
+  if (it + 1 != chunk.end()) {
+    (it + 1)->range.begin = merged_begin;
+    chunk.erase(it);
+  } else {
+    chunk.erase(it);
+    if (chunk.empty()) {
+      chunks_.erase(chunks_.begin() + ci);
+      chunk_ends_.erase(chunk_ends_.begin() + ci);
+      chunks_[ci].front().range.begin = merged_begin;
+    } else {
+      chunk_ends_[ci] = chunk.back().range.end;
+      chunks_[ci + 1].front().range.begin = merged_begin;
+    }
+  }
+  --size_;
+  flat_dirty_ = true;
+}
+
+void TieredLeafPartition::SplitChunkIfOversized(size_t chunk_index) {
+  std::vector<Leaf>& chunk = chunks_[chunk_index];
+  if (chunk.size() <= 2 * kTargetChunkCells) return;
+  const size_t half = chunk.size() / 2;
+  std::vector<Leaf> tail(chunk.begin() + half, chunk.end());
+  chunk.resize(half);
+  const size_t left_end = chunk.back().range.end;
+  chunks_.insert(chunks_.begin() + chunk_index + 1, std::move(tail));
+  // The original entry at chunk_index keeps the (unchanged) tail end; the
+  // new left half's end slots in before it.
+  chunk_ends_.insert(chunk_ends_.begin() + chunk_index, left_end);
+}
+
+const std::vector<Leaf>& TieredLeafPartition::Flatten() const {
+  if (flat_dirty_) {
+    flat_.clear();
+    flat_.reserve(size_);
+    for (const std::vector<Leaf>& chunk : chunks_) {
+      flat_.insert(flat_.end(), chunk.begin(), chunk.end());
+    }
+    flat_dirty_ = false;
+  }
+  return flat_;
+}
+
+}  // namespace mhx::goddag

@@ -20,6 +20,12 @@
 // overlays but never outlives the evaluation that owns it; the XQuery
 // engine keeps an evaluation's overlays alive past the evaluation only
 // through the KeptTemporaries handle (xquery/engine.h).
+//
+// Overlays sit *above* the MVCC document-version layer: an overlay
+// annotates the one immutable snapshot its evaluation pinned and is never
+// part of any published version — Writer commits and overlay builds never
+// meet in a write. CONCURRENCY.md is the authoritative statement of the
+// layering and of every lifetime rule summarised here.
 
 #ifndef MHX_GODDAG_OVERLAY_H_
 #define MHX_GODDAG_OVERLAY_H_
@@ -101,11 +107,16 @@ class GoddagOverlay {
   GoddagOverlay(const GoddagOverlay&) = delete;
   GoddagOverlay& operator=(const GoddagOverlay&) = delete;
 
+  // The leased contiguous id block [id_begin(), id_end()). Immutable, so
+  // every accessor on this class is safe from any thread without locking.
   NodeId id_begin() const { return id_begin_; }
+  // One past the last id of the block.
   NodeId id_end() const {
     return id_begin_ + static_cast<NodeId>(arena_.size());
   }
+  // Number of nodes (root + elements) in the overlay.
   size_t node_count() const { return arena_.size(); }
+  // Whether `id` falls inside this overlay's id block.
   bool Contains(NodeId id) const {
     return id >= id_begin_ && id < id_end();
   }
@@ -116,6 +127,8 @@ class GoddagOverlay {
   // in document order.
   NodeId elements_begin() const { return id_begin_ + 1; }
 
+  // The node stored at `id`; `Contains(id)` is the caller's precondition
+  // (resolution normally goes through OverlayView::node).
   const GNode& node(NodeId id) const { return arena_[id - id_begin_]; }
 
  private:
@@ -149,6 +162,9 @@ class GoddagOverlay {
 // mutex-guarded).
 class OverlayView {
  public:
+  // A root view over `base`, which must stay alive and structurally
+  // unchanged for the view's lifetime — the engine satisfies this by
+  // pointing views at the goddag of a pinned DocumentSnapshot.
   explicit OverlayView(const KyGoddag* base) : base_(base) {}
 
   // Forks a worker-private child view: ids the child does not own resolve
@@ -161,8 +177,12 @@ class OverlayView {
   // The parent this view was forked from, or nullptr for a root view.
   const OverlayView* parent() const { return parent_; }
 
+  // The base document, its text, and the GODDAG root — straight
+  // pass-throughs to the (immutable) base; safe from any thread.
   const KyGoddag& base() const { return *base_; }
+  // The shared base text every hierarchy and overlay annotates.
   const std::string& base_text() const { return base_->base_text(); }
+  // The base GODDAG's unique root node id.
   NodeId root() const { return base_->root(); }
 
   // Registers an overlay (kept sorted by id_begin for binary-search

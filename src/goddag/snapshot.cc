@@ -1,0 +1,56 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "goddag/snapshot.h"
+
+#include <atomic>
+#include <utility>
+
+namespace mhx::goddag {
+
+namespace {
+std::atomic<size_t> g_live_snapshots{0};
+}  // namespace
+
+DocumentSnapshot::DocumentSnapshot(std::shared_ptr<const KyGoddag> goddag,
+                                   uint64_t version)
+    : goddag_(std::move(goddag)),
+      version_(version),
+      revision_at_publish_(goddag_->revision()) {
+  g_live_snapshots.fetch_add(1, std::memory_order_relaxed);
+}
+
+DocumentSnapshot::~DocumentSnapshot() {
+  g_live_snapshots.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const DocumentSnapshot> DocumentSnapshot::Create(
+    std::shared_ptr<const KyGoddag> goddag, uint64_t version,
+    bool prebuild_index) {
+  // Force the lazy leaf partition while the goddag is still quiesced:
+  // readers of a published snapshot must only ever hit plain reads.
+  goddag->leaves();
+  auto snapshot = std::shared_ptr<const DocumentSnapshot>(
+      new DocumentSnapshot(std::move(goddag), version));
+  if (prebuild_index) snapshot->EnsureIndex();
+  return snapshot;
+}
+
+bool DocumentSnapshot::EnsureIndex() const {
+  bool built = false;
+  std::call_once(index_once_, [&] {
+    index_ = std::make_unique<const RangeIndex>(goddag_.get());
+    built = true;
+  });
+  return built;
+}
+
+const RangeIndex& DocumentSnapshot::index() const {
+  EnsureIndex();
+  return *index_;
+}
+
+size_t DocumentSnapshot::live_count() {
+  return g_live_snapshots.load(std::memory_order_relaxed);
+}
+
+}  // namespace mhx::goddag

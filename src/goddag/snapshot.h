@@ -1,0 +1,100 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// DocumentSnapshot: one immutable published version of a document — the
+// KyGoddag (node table, hierarchy arcs, materialised leaf partition) plus a
+// build-once RangeIndex — the unit of the MVCC protocol described in
+// CONCURRENCY.md. Readers pin the current snapshot (a shared_ptr copy under
+// the document's epoch mutex) for an entire evaluation; writers clone the
+// head goddag copy-on-write, apply their mutations off to the side, and
+// publish a successor snapshot by swapping the document's pointer. No
+// reader ever blocks on a writer: pin and publish are both O(1) pointer
+// operations, and a snapshot — goddag and index — is never mutated after
+// publication.
+//
+// Retirement: a snapshot dies when its last reference drops — the document
+// repointing to a successor, the last pinned evaluation returning, or the
+// last KeptTemporaries handle releasing, whichever comes last. live_count()
+// exposes the process-wide population for the `mhx_goddag_live_snapshots`
+// gauge and the retirement tests.
+//
+// Index discipline: the writer path prebuilds the RangeIndex before
+// publishing (Create with prebuild_index = true), so readers switching to a
+// new version never pay a rebuild — `index_rebuilds` stays flat across
+// commits. The initial Build()-time snapshot defers the index to the first
+// EnsureIndex() call (the engine's first evaluation), preserving lazy
+// startup. EnsureIndex() is thread-safe (std::call_once) and reports
+// whether the calling thread actually built, which is how the engine keeps
+// its per-engine rebuild accounting exact.
+//
+// Thread-safety: every method is safe to call concurrently after Create
+// returns. The one caveat is the *head* snapshot under the legacy
+// mutable_goddag() escape hatch: an in-place edit mutates the shared goddag
+// behind this snapshot, which is undefined behaviour while any evaluation
+// reads it (see CONCURRENCY.md "legacy mutation path").
+
+#ifndef MHX_GODDAG_SNAPSHOT_H_
+#define MHX_GODDAG_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "goddag/index.h"
+#include "goddag/kygoddag.h"
+
+namespace mhx::goddag {
+
+class DocumentSnapshot {
+ public:
+  // Publishes `goddag` as version `version`: forces the leaf partition (so
+  // readers never trigger the lazy rebuild) and, when `prebuild_index`,
+  // builds the RangeIndex eagerly — the writer pays, readers never do.
+  // `goddag` must be quiesced: no concurrent access during Create.
+  static std::shared_ptr<const DocumentSnapshot> Create(
+      std::shared_ptr<const KyGoddag> goddag, uint64_t version,
+      bool prebuild_index);
+
+  ~DocumentSnapshot();
+
+  DocumentSnapshot(const DocumentSnapshot&) = delete;
+  DocumentSnapshot& operator=(const DocumentSnapshot&) = delete;
+
+  const KyGoddag& goddag() const { return *goddag_; }
+  const std::shared_ptr<const KyGoddag>& shared_goddag() const {
+    return goddag_;
+  }
+
+  // Monotonic document version, starting at 1 for Builder::Build's snapshot
+  // and +1 per Writer::Commit.
+  uint64_t version() const { return version_; }
+
+  // The goddag's revision() when this snapshot was published. A live
+  // goddag revision differing from this stamp means the head was edited in
+  // place through the legacy mutable_goddag() path after publication.
+  uint64_t goddag_revision() const { return revision_at_publish_; }
+
+  // Builds the RangeIndex if no thread has yet (thread-safe, build-once).
+  // Returns true iff THIS call performed the build — the engine's rebuild
+  // accounting counts exactly those.
+  bool EnsureIndex() const;
+
+  // The snapshot's RangeIndex, building it on first use (see EnsureIndex).
+  const RangeIndex& index() const;
+
+  // Snapshots currently alive in the process (relaxed; exact once traffic
+  // quiesces). Exported as the `mhx_goddag_live_snapshots` gauge.
+  static size_t live_count();
+
+ private:
+  DocumentSnapshot(std::shared_ptr<const KyGoddag> goddag, uint64_t version);
+
+  const std::shared_ptr<const KyGoddag> goddag_;
+  const uint64_t version_;
+  const uint64_t revision_at_publish_;
+  mutable std::once_flag index_once_;
+  mutable std::unique_ptr<const RangeIndex> index_;
+};
+
+}  // namespace mhx::goddag
+
+#endif  // MHX_GODDAG_SNAPSHOT_H_

@@ -72,6 +72,8 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+// The directory over owned and external instruments described in the file
+// comment; mutex-guarded at registration and export time only.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

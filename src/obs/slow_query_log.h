@@ -41,6 +41,8 @@ struct SlowQueryRecord {
   uint64_t steals = 0;
 };
 
+// The fixed-capacity lock-light ring of SlowQueryRecords (see the file
+// comment for the capture and overwrite semantics).
 class SlowQueryLog {
  public:
   // Capacity is fixed at construction; 0 disables recording entirely.

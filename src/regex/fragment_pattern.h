@@ -25,6 +25,8 @@
 
 namespace mhx::regex {
 
+// A translated XML fragment pattern: the residual regex plus the fragment
+// element names its capture groups correspond to.
 struct FragmentPattern {
   // The residual regular expression with every fragment element turned into
   // a capture group.

@@ -169,6 +169,8 @@ struct SearchScratch {
 
 }  // namespace internal
 
+// A compiled pattern. Immutable after Compile, so one Regex may be matched
+// from any number of threads (each match carries its own thread state).
 class Regex {
  public:
   struct Match {

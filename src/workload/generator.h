@@ -28,6 +28,8 @@
 
 namespace mhx::workload {
 
+// Deterministic generation parameters: the same config always produces the
+// same edition on every platform.
 struct EditionConfig {
   uint64_t seed = 1;
   // Number of words in the base text.
@@ -43,6 +45,7 @@ struct EditionConfig {
   double restoration_coverage = 0.10;
 };
 
+// A generated edition: the base text plus one XML encoding per hierarchy.
 struct Edition {
   std::string base_text;
   std::string physical_xml;

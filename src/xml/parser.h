@@ -26,6 +26,8 @@
 
 namespace mhx::xml {
 
+// One parsed element: name, attributes, the base-text range its character
+// content spans, and its children in document order.
 struct Element {
   std::string name;
   std::vector<std::pair<std::string, std::string>> attributes;

@@ -138,7 +138,23 @@ bool NodeTest::Matches(const GNode& node) const {
 AxisEvaluator::AxisEvaluator(const KyGoddag* goddag, AxisOptions options)
     : goddag_(goddag), options_(options) {}
 
+AxisEvaluator::AxisEvaluator(const goddag::DocumentSnapshot* snapshot,
+                             AxisOptions options)
+    : goddag_(&snapshot->goddag()), snapshot_(snapshot), options_(options) {}
+
 const goddag::RangeIndex& AxisEvaluator::index() const {
+  // Snapshot-bound and unedited since publish: serve the snapshot's
+  // build-once index. A writer-prebuilt index costs this evaluator nothing;
+  // a lazily indexed snapshot is built exactly once, and the builder counts
+  // it (EnsureIndex reports whether this call built).
+  if (snapshot_ != nullptr &&
+      goddag_->revision() == snapshot_->goddag_revision()) {
+    if (snapshot_->EnsureIndex()) ++index_rebuild_count_;
+    return snapshot_->index();
+  }
+  // Bare-goddag evaluators, and the legacy escape hatch: mutable_goddag()
+  // edited the head in place past the snapshot stamp, so rebuild privately
+  // against the live revision.
   if (index_ == nullptr || index_->revision() != goddag_->revision()) {
     index_ = std::make_unique<goddag::RangeIndex>(goddag_);
     ++index_rebuild_count_;

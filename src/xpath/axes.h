@@ -27,6 +27,14 @@
 // revision-checked against the base KyGoddag only: overlay churn never
 // invalidates it, which is what keeps analyze-string() cycles rebuild-free
 // (index_rebuild_count()).
+//
+// MVCC binding: an evaluator constructed over a goddag::DocumentSnapshot
+// serves index() from the snapshot's build-once RangeIndex — prebuilt by
+// the writer that published the snapshot, so readers repinning after a
+// commit pay zero rebuilds (CONCURRENCY.md). The private rebuild path
+// remains only for the legacy escape hatch: a mutable_goddag() edit bumps
+// the live revision past the snapshot's publish stamp, and index() then
+// rebuilds privately, exactly as the plain-goddag constructor always did.
 
 #ifndef MHX_XPATH_AXES_H_
 #define MHX_XPATH_AXES_H_
@@ -42,9 +50,12 @@
 #include "goddag/index.h"
 #include "goddag/kygoddag.h"
 #include "goddag/overlay.h"
+#include "goddag/snapshot.h"
 
 namespace mhx::xpath {
 
+// Every axis a path step can name: the standard XPath axes plus the
+// paper's five extended (overlap-aware) axes.
 enum class Axis {
   // Standard XPath axes, evaluated within the context node's hierarchy.
   kSelf,
@@ -122,6 +133,14 @@ class AxisEvaluator {
   explicit AxisEvaluator(const goddag::KyGoddag* goddag,
                          AxisOptions options = AxisOptions());
 
+  // Binds the evaluator to a pinned MVCC snapshot: navigation reads the
+  // snapshot's goddag, and index() serves the snapshot's build-once index
+  // as long as the goddag revision still matches the publish stamp (see
+  // index() for the legacy-mutation fallback). `snapshot` must outlive the
+  // evaluator — the XQuery engine pairs the two in one pinned entry.
+  explicit AxisEvaluator(const goddag::DocumentSnapshot* snapshot,
+                         AxisOptions options = AxisOptions());
+
   // Nodes reachable from `context` along `axis`, in document order
   // (range.begin ascending, longer ranges first, NodeId as tiebreak).
   // The base-only overloads see the base document alone; the OverlayView
@@ -167,11 +186,16 @@ class AxisEvaluator {
 
   const AxisOptions& options() const { return options_; }
 
-  // The lazily built index backing indexed mode, revision-checked against
-  // the *base* document only. Base documents are immutable while queries
-  // run, so once materialised (the XQuery engine forces this before
-  // evaluation) concurrent readers never trigger a rebuild; a direct
-  // document mutation between queries rebuilds on the next call.
+  // The index backing indexed mode, revision-checked against the *base*
+  // document only (overlay churn never invalidates it). Snapshot-bound
+  // evaluators serve the snapshot's build-once index — writer-prebuilt
+  // snapshots cost this evaluator zero rebuilds; a lazily indexed snapshot
+  // (the Build()-time initial version) is built exactly once here. The
+  // private rebuild path runs only when a legacy mutable_goddag() edit has
+  // pushed the live revision past the snapshot stamp (or for evaluators
+  // constructed over a bare KyGoddag). Once materialised (the XQuery
+  // engine forces this before evaluation) concurrent readers never trigger
+  // a rebuild.
   const goddag::RangeIndex& index() const;
 
   // Number of RangeIndex constructions this evaluator has paid for — the
@@ -216,6 +240,8 @@ class AxisEvaluator {
                               std::vector<goddag::NodeId>* ids) const;
 
   const goddag::KyGoddag* goddag_;
+  // Non-null iff snapshot-bound; goddag_ then points at snapshot_->goddag().
+  const goddag::DocumentSnapshot* snapshot_ = nullptr;
   AxisOptions options_;
   mutable std::unique_ptr<goddag::RangeIndex> index_;
   mutable size_t index_rebuild_count_ = 0;

@@ -22,6 +22,7 @@
 
 namespace mhx::xquery {
 
+// Discriminator of AstNode; the comments note each kind's child layout.
 enum class ExprKind {
   kStringLiteral,
   kIntegerLiteral,
@@ -41,6 +42,7 @@ enum class ExprKind {
   kConstructor,
 };
 
+// Operators carried by kCompare / kArith nodes.
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 enum class ArithOp { kAdd, kSub, kMul };
 
@@ -66,11 +68,14 @@ struct ConstructorPart {
   std::unique_ptr<AstNode> expr;  // set => enclosed expression
 };
 
+// One attribute of a direct constructor; the value is a part sequence.
 struct ConstructorAttribute {
   std::string name;
   std::vector<ConstructorPart> parts;
 };
 
+// The parser's output node: one ExprKind plus the fields that kind uses
+// (see the ExprKind comments for each layout).
 struct AstNode {
   explicit AstNode(ExprKind k) : kind(k) {}
 

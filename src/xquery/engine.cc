@@ -1350,6 +1350,9 @@ class Evaluator {
         &view_->base(), engine_->overlay_ids_, kAnalyzeStringResultName,
         std::move(elements));
     if (!overlay.ok()) {
+      if (overlay.status().code() == StatusCode::kResourceExhausted) {
+        engine_->counters_->overlay_id_exhausted.Add();
+      }
       return EvalErrorAt(node.offset, overlay.status().message());
     }
     // The wrapper is the first element spanning the analysed range with the
@@ -1484,35 +1487,52 @@ Engine::Engine(const MultihierarchicalDocument* document,
 
 Engine::~Engine() = default;
 
-const xpath::AxisEvaluator& Engine::axes() {
-  // Guarded: concurrent evaluations reach this; creation and the
-  // external-mutation refresh must not race. In the steady state the
-  // critical section is a couple of loads.
+std::shared_ptr<const Engine::SnapshotAxes> Engine::PinAxes() {
+  // Guarded: concurrent evaluations reach this; entry turnover on a new
+  // published version must not race. In the steady state (no commit since
+  // the last pin) the critical section is one shared_ptr copy, a version
+  // compare, and a couple of loads — writers never hold cache_mu_, so
+  // readers never wait on a commit here.
   std::lock_guard<std::mutex> lock(cache_mu_);
-  if (axes_ == nullptr) {
-    axes_ = std::make_unique<xpath::AxisEvaluator>(&document_->goddag());
+  std::shared_ptr<const goddag::DocumentSnapshot> snap =
+      document_->PinSnapshot();
+  counters_->snapshot_pins.Add();
+  if (axes_entry_ == nullptr || axes_entry_->snapshot != snap) {
+    // The published version moved (or this is the first evaluation): bind
+    // a fresh evaluator to the new snapshot. The superseded entry stays
+    // alive in whatever evaluations still hold it; its rebuild tally is
+    // carried over so index_rebuild_count() stays monotonic per engine.
+    if (axes_entry_ != nullptr) {
+      retired_rebuilds_ += axes_entry_->axes.index_rebuild_count();
+    }
+    axes_entry_ = std::make_shared<SnapshotAxes>(std::move(snap));
   }
-  // Materialise the lazily built leaf partition and the base RangeIndex
-  // before any evaluation can reach them: evaluation never mutates the base
-  // document (temporaries live in overlays), so after this both are plain
-  // reads for any number of concurrent evaluations. A direct document
-  // mutation between queries (mutable_goddag()) dirties both; this is the
-  // single point that rebuilds them, exactly once per mutation.
-  document_->goddag().leaves();
-  axes_->index();
+  // Materialise the leaf partition and RangeIndex before any evaluation
+  // can reach them: evaluation never mutates the snapshot (temporaries
+  // live in overlays), so after this both are plain reads for any number
+  // of concurrent evaluations. Writer-prebuilt snapshots make both no-ops;
+  // the lazily indexed initial version builds here once, and a legacy
+  // mutable_goddag() edit (revision moved past the snapshot stamp)
+  // re-materialises here, once per edit.
+  axes_entry_->snapshot->goddag().leaves();
+  axes_entry_->axes.index();
   // Fold new AxisEvaluator rebuilds into the shared counter as a delta, so
   // the registry total is monotonic across engines sharing one
   // EngineCounters (index_rebuild_count() stays per-engine).
-  const size_t rebuilds = axes_->index_rebuild_count();
+  const size_t rebuilds =
+      retired_rebuilds_ + axes_entry_->axes.index_rebuild_count();
   if (rebuilds > reported_rebuilds_) {
     counters_->index_rebuilds.Add(rebuilds - reported_rebuilds_);
     reported_rebuilds_ = rebuilds;
   }
-  return *axes_;
+  return axes_entry_;
 }
 
 size_t Engine::index_rebuild_count() const {
-  return axes_ == nullptr ? 0 : axes_->index_rebuild_count();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return retired_rebuilds_ + (axes_entry_ == nullptr
+                                  ? 0
+                                  : axes_entry_->axes.index_rebuild_count());
 }
 
 size_t Engine::temporary_hierarchy_count() const {
@@ -1564,19 +1584,23 @@ StatusOr<Engine::EvaluationOutput> Engine::EvaluateInternal(
   QueryOptions normalized = options;
   if (normalized.threads == 0) normalized.threads = 1;
   base::ThreadPool* fan_out_pool = pool(normalized.threads);
-  goddag::OverlayView view(&document_->goddag());
-  const xpath::AxisEvaluator* axes_ref = nullptr;
+  std::shared_ptr<const SnapshotAxes> pinned;
   {
     obs::StageTimer stage(trace, "index_materialize");
-    axes_ref = &axes();
-    // The evaluation's private read seam: the immutable base, every kept
-    // temporary hierarchy, and (as they are created) the evaluation's own
-    // overlays. No lock is held while evaluating — concurrent
-    // evaluations, analyze-string() included, only share immutable state.
-    for (auto& overlay : SnapshotKept()) view.AddOverlay(std::move(overlay));
+    // Pin the MVCC snapshot for the whole evaluation: everything below —
+    // view, axes, leaves, index — reads exactly this version, regardless
+    // of writers committing successors meanwhile.
+    pinned = PinAxes();
   }
+  // The evaluation's private read seam: the immutable pinned snapshot,
+  // every kept temporary hierarchy, and (as they are created) the
+  // evaluation's own overlays. No lock is held while evaluating —
+  // concurrent evaluations, analyze-string() included, only share
+  // immutable state.
+  goddag::OverlayView view(&pinned->snapshot->goddag());
+  for (auto& overlay : SnapshotKept()) view.AddOverlay(std::move(overlay));
   std::vector<std::shared_ptr<const goddag::GoddagOverlay>> own;
-  Evaluator evaluator(this, axes_ref, &normalized, fan_out_pool, &view,
+  Evaluator evaluator(this, &pinned->axes, &normalized, fan_out_pool, &view,
                       &own);
   StatusOr<Evaluator::Sequence> result = [&] {
     obs::StageTimer stage(trace, "evaluate");
@@ -1594,6 +1618,7 @@ StatusOr<Engine::EvaluationOutput> Engine::EvaluateInternal(
     out.items.push_back(evaluator.SerializeItem(item));
   }
   out.temporaries = std::move(own);
+  out.snapshot = pinned->snapshot;
   return out;
 }
 
@@ -1627,7 +1652,8 @@ StatusOr<KeptEvaluation> Engine::EvaluateKeepingTemporaries(
   }
   KeptEvaluation kept;
   kept.items = std::move(output.items);
-  kept.temporaries = KeptTemporaries(kept_, std::move(output.temporaries));
+  kept.temporaries = KeptTemporaries(kept_, std::move(output.temporaries),
+                                     std::move(output.snapshot));
   return kept;
 }
 
@@ -1649,6 +1675,8 @@ void KeptTemporaries::Release() {
   }
   overlays_.clear();
   registry_.reset();
+  // Unpin last: the overlays above referenced the snapshot's base goddag.
+  snapshot_.reset();
 }
 
 }  // namespace mhx::xquery

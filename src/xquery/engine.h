@@ -9,13 +9,25 @@
 // hierarchies plus its own, and never mutates the document — teardown is
 // simply dropping the overlays when the evaluation returns.
 //
-// Index discipline: the engine's AxisEvaluator keeps one RangeIndex over the
-// base document, materialised before the first evaluation. Overlay nodes
-// never enter it — extended-axis steps read "base index + overlay scan"
-// uniformly — so the add/query/drop cycle of every analyze-string() call
-// costs zero O(N log N) index rebuilds; index_rebuild_count() (1 per engine
-// unless the document is mutated directly between queries) is the proof,
-// surfaced as a benchmark counter in bench_paper_queries.cc.
+// MVCC binding (the full protocol is CONCURRENCY.md): every evaluation
+// pins the document's current goddag::DocumentSnapshot at its start and
+// reads exactly that version — goddag, leaf partition, RangeIndex —
+// end-to-end, so queries run concurrently with Writer::Commit and never
+// block on (or observe half of) a commit. The engine keeps one
+// (snapshot, AxisEvaluator) entry for the pinned version and retires it
+// when a newer version is pinned; in-flight evaluations and kept-
+// temporaries handles hold the old snapshot alive until they drop.
+//
+// Index discipline: each snapshot carries one build-once RangeIndex.
+// Writer-published snapshots arrive with it prebuilt (the writer paid);
+// the initial Build()-time snapshot is indexed lazily by this engine's
+// first evaluation. Overlay nodes never enter any index — extended-axis
+// steps read "base index + overlay scan" uniformly — so the
+// add/query/drop cycle of every analyze-string() call and every MVCC
+// commit costs this engine zero O(N log N) index rebuilds;
+// index_rebuild_count() (1 per engine unless the document is edited
+// in place via the legacy mutable_goddag() path between queries) is the
+// proof, surfaced as a benchmark counter in bench_paper_queries.cc.
 //
 // Concurrency contract. Two independent levels:
 //
@@ -23,9 +35,10 @@
 //    calls may run concurrently on one engine — including queries that
 //    materialise temporary hierarchies via analyze-string(), which was the
 //    serialisation point under the old document-mutation model. There is no
-//    evaluation lock left: evaluations share the immutable base and write
-//    only their private overlays. The prepared-query and compiled-pattern
-//    caches and the kept-temporaries registry are mutex-guarded.
+//    evaluation lock: evaluations share an immutable pinned snapshot and
+//    write only their private overlays. The prepared-query and
+//    compiled-pattern caches and the kept-temporaries registry are
+//    mutex-guarded.
 //  * Within one query, QueryOptions{threads > 1} fans independent FLWOR
 //    `for` iterations and some/every quantifier bindings out across a
 //    base::ThreadPool whenever the binding body IsParallelSafe — which now
@@ -71,7 +84,9 @@
 // which concurrent leasing does not pin to binding order.
 //
 // Mutating the document directly (mutable_goddag()) while any query runs
-// remains undefined behaviour, as does moving the document.
+// remains undefined behaviour, as does moving the document. Mutating it
+// through MultihierarchicalDocument::Writer is always safe: evaluations on
+// the old version finish on the old version.
 
 #ifndef MHX_XQUERY_ENGINE_H_
 #define MHX_XQUERY_ENGINE_H_
@@ -88,6 +103,7 @@
 #include "base/thread_pool.h"
 #include "goddag/kygoddag.h"
 #include "goddag/overlay.h"
+#include "goddag/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "xpath/axes.h"
@@ -135,6 +151,13 @@ struct EngineCounters {
   obs::Counter parallel_tasks;
   obs::Counter steals;
   obs::Counter index_rebuilds;
+  // Snapshot pins taken by evaluations (one per Evaluate /
+  // EvaluateKeepingTemporaries call).
+  obs::Counter snapshot_pins;
+  // analyze-string() calls that failed because the OverlayIdAllocator
+  // namespace was exhausted (ResourceExhausted surfaced to the caller).
+  // Stays 0 in any healthy process; the stress tests assert it.
+  obs::Counter overlay_id_exhausted;
 };
 
 namespace internal {
@@ -151,8 +174,13 @@ struct KeptRegistry {
 // engine, so later evaluations see them on extended axes (and in their leaf
 // partition). Dropping the handle — or calling Release(), or the engine's
 // CleanupTemporaries() — unregisters them; the overlay memory is freed when
-// the last reader lets go. No repin, no cleanup marks: kept temporaries
-// never touch the base document.
+// the last reader lets go. The handle also pins the DocumentSnapshot its
+// evaluation ran against: overlay node ranges are anchored in that
+// version's goddag, so the snapshot outlives engine death and document
+// commits for exactly as long as the handle does. No repin, no cleanup
+// marks: kept temporaries never touch the base document. Thread-safety
+// class: unsynchronized (one handle belongs to one thread); Release itself
+// locks the registry.
 class KeptTemporaries {
  public:
   KeptTemporaries() = default;
@@ -161,26 +189,38 @@ class KeptTemporaries {
     Release();
     registry_ = std::move(other.registry_);
     overlays_ = std::move(other.overlays_);
+    snapshot_ = std::move(other.snapshot_);
     return *this;
   }
   ~KeptTemporaries() { Release(); }
 
-  // Unregisters the kept hierarchies from the engine. Idempotent; a no-op
-  // after the engine called CleanupTemporaries or was destroyed.
+  // Unregisters the kept hierarchies from the engine and drops the
+  // snapshot pin. Idempotent; a no-op after the engine called
+  // CleanupTemporaries or was destroyed.
   void Release();
 
   // Temporary virtual hierarchies this handle keeps (0 once released).
   size_t hierarchy_count() const { return overlays_.size(); }
 
+  // The pinned snapshot the kept hierarchies are anchored in (null once
+  // released, or for a default-constructed handle).
+  const std::shared_ptr<const goddag::DocumentSnapshot>& snapshot() const {
+    return snapshot_;
+  }
+
  private:
   friend class Engine;
   KeptTemporaries(
       std::weak_ptr<internal::KeptRegistry> registry,
-      std::vector<std::shared_ptr<const goddag::GoddagOverlay>> overlays)
-      : registry_(std::move(registry)), overlays_(std::move(overlays)) {}
+      std::vector<std::shared_ptr<const goddag::GoddagOverlay>> overlays,
+      std::shared_ptr<const goddag::DocumentSnapshot> snapshot)
+      : registry_(std::move(registry)),
+        overlays_(std::move(overlays)),
+        snapshot_(std::move(snapshot)) {}
 
   std::weak_ptr<internal::KeptRegistry> registry_;
   std::vector<std::shared_ptr<const goddag::GoddagOverlay>> overlays_;
+  std::shared_ptr<const goddag::DocumentSnapshot> snapshot_;
 };
 
 // EvaluateKeepingTemporaries' result: one serialised string per result item,
@@ -192,6 +232,9 @@ struct KeptEvaluation {
 
 class Engine {
  public:
+  // An engine with private caches, pool, and counters — the
+  // single-document default. `document` must outlive the engine (the
+  // facade owns its engine, so this holds by construction).
   explicit Engine(const MultihierarchicalDocument* document);
 
   // Cache- and pool-injection seam, used by the corpus service so every
@@ -220,7 +263,10 @@ class Engine {
   // concatenated without separators; leaves serialise as their base-text
   // characters, constructed elements as tags). Temporary virtual
   // hierarchies the query materialises are evaluation-private and dropped
-  // on return.
+  // on return. Thread-safety class: pinned-snapshot read — safe against
+  // any number of concurrent evaluations and document Writer commits;
+  // never blocks on a writer (the only locks taken are short cache/pin
+  // mutexes, never held while evaluating).
   StatusOr<std::string> Evaluate(std::string_view query);
   StatusOr<std::string> Evaluate(std::string_view query,
                                  const QueryOptions& options);
@@ -236,14 +282,19 @@ class Engine {
       std::string_view query, const QueryOptions& options);
 
   // Unregisters every kept temporary hierarchy, regardless of outstanding
-  // handles (which become inert).
+  // handles (which become inert). Thread-safe.
   void CleanupTemporaries();
 
+  // The document this engine is bound to (kept valid across document moves
+  // via Rebind). Thread-safe.
   const MultihierarchicalDocument* document() const { return document_; }
 
-  // RangeIndex constructions this engine has paid for — stays at one no
-  // matter how many analyze-string() overlay cycles have run (only a direct
-  // document mutation between queries adds one).
+  // RangeIndex constructions this engine has paid for, summed across every
+  // snapshot version it has pinned — stays at one no matter how many
+  // analyze-string() overlay cycles have run and no matter how many MVCC
+  // commits it repins across (writer-prebuilt indexes cost readers
+  // nothing; only a legacy mutable_goddag() edit between queries adds
+  // one). Thread-safe.
   size_t index_rebuild_count() const;
 
   // Temporary virtual hierarchies currently kept alive by
@@ -274,6 +325,18 @@ class Engine {
     return static_cast<size_t>(counters_->steals.value());
   }
 
+  // Snapshot pins taken by evaluations on engines sharing this counter
+  // block (one per evaluation entry point).
+  size_t snapshot_pins() const {
+    return static_cast<size_t>(counters_->snapshot_pins.value());
+  }
+
+  // analyze-string() calls rejected with ResourceExhausted because the
+  // overlay-id namespace could not lease a block. 0 in a healthy process.
+  size_t overlay_id_exhausted() const {
+    return static_cast<size_t>(counters_->overlay_id_exhausted.value());
+  }
+
   // The counter block this engine bumps — for MetricsRegistry registration;
   // shared_ptr so the registration outlives any one engine.
   const std::shared_ptr<EngineCounters>& counters() const {
@@ -285,10 +348,25 @@ class Engine {
   friend class Evaluator;
 
   // One evaluation's full output: the serialised items plus the overlays it
-  // materialised (kept or dropped by the public entry points).
+  // materialised (kept or dropped by the public entry points) and the MVCC
+  // snapshot the whole evaluation read — handed to KeptTemporaries so kept
+  // overlays outlive later commits together with the version they annotate.
   struct EvaluationOutput {
     std::vector<std::string> items;
     std::vector<std::shared_ptr<const goddag::GoddagOverlay>> temporaries;
+    std::shared_ptr<const goddag::DocumentSnapshot> snapshot;
+  };
+
+  // One pinned snapshot paired with the AxisEvaluator bound to it — the
+  // unit the axes cache hands to evaluations. Immutable after construction
+  // (the evaluator's interior is concurrency-safe once its index is
+  // forced), so any number of evaluations share one entry while a writer
+  // publishes new versions alongside.
+  struct SnapshotAxes {
+    std::shared_ptr<const goddag::DocumentSnapshot> snapshot;
+    xpath::AxisEvaluator axes;
+    explicit SnapshotAxes(std::shared_ptr<const goddag::DocumentSnapshot> s)
+        : snapshot(std::move(s)), axes(snapshot.get()) {}
   };
 
   // Called by the document's move operations to keep the back-reference
@@ -307,12 +385,13 @@ class Engine {
   // for the engine's lifetime (map nodes are stable).
   StatusOr<const Expr*> PreparedQuery(std::string_view query);
 
-  // The engine's AxisEvaluator over the base document. Creates it on first
-  // use and materialises the base leaf partition and RangeIndex under
-  // cache_mu_, so everything evaluation reads concurrently is already
-  // built (a direct document mutation between queries re-materialises
-  // here, once).
-  const xpath::AxisEvaluator& axes();
+  // Pins the document's current snapshot and returns the SnapshotAxes
+  // entry bound to it, creating a fresh entry under cache_mu_ when the
+  // published version moved since the last evaluation (the old entry stays
+  // alive for evaluations still holding it — that is the reader side of
+  // the epoch swap). Materialises the leaf partition and RangeIndex before
+  // returning, so nothing evaluation reads concurrently builds lazily.
+  std::shared_ptr<const SnapshotAxes> PinAxes();
 
   // A snapshot of the kept-hierarchy registry, for one evaluation's view.
   std::vector<std::shared_ptr<const goddag::GoddagOverlay>> SnapshotKept()
@@ -323,8 +402,13 @@ class Engine {
   base::ThreadPool* pool(unsigned threads);
 
   const MultihierarchicalDocument* document_;
-  // Lazily created; see axes().
-  std::unique_ptr<xpath::AxisEvaluator> axes_;
+  // The axes entry for the most recently pinned snapshot; see PinAxes().
+  // Guarded by cache_mu_; superseded entries drop here but survive in the
+  // shared_ptrs evaluations hold.
+  std::shared_ptr<const SnapshotAxes> axes_entry_;
+  // index_rebuild_count() contributions of entries axes_entry_ has already
+  // dropped. Guarded by cache_mu_.
+  size_t retired_rebuilds_ = 0;
   // Id blocks for every overlay any evaluation of this engine creates —
   // one namespace, so kept hierarchies and evaluation-private ones never
   // collide inside a view. Shared with the overlays themselves so a
@@ -342,8 +426,9 @@ class Engine {
   // growing pool_.
   std::shared_ptr<base::ThreadPool> shared_pool_;
 
-  // Guards pool_ creation and axes_ creation.
-  std::mutex cache_mu_;
+  // Guards pool_ creation, axes_entry_, and retired_rebuilds_. mutable so
+  // const accessors (index_rebuild_count) can take it.
+  mutable std::mutex cache_mu_;
   std::unique_ptr<base::ThreadPool> pool_;
   // Pools superseded by a larger request; kept alive (idle) because an
   // in-flight evaluation may still hold a pointer to one.
@@ -351,7 +436,7 @@ class Engine {
   // Never null (private instance when none injected); see EngineCounters.
   std::shared_ptr<EngineCounters> counters_;
   // AxisEvaluator rebuilds already folded into counters_->index_rebuilds;
-  // axes() adds the delta under cache_mu_.
+  // PinAxes() adds the delta under cache_mu_.
   size_t reported_rebuilds_ = 0;
 };
 

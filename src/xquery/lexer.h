@@ -15,6 +15,7 @@
 
 namespace mhx::xquery {
 
+// Every lexical token of the query dialect.
 enum class TokenKind {
   kEof,
   kError,     // token.error holds the reason, token.begin the offset
@@ -45,6 +46,7 @@ enum class TokenKind {
   kGe,
 };
 
+// One token: kind, decoded text where applicable, and source offsets.
 struct Token {
   TokenKind kind = TokenKind::kEof;
   std::string text;
@@ -61,6 +63,8 @@ std::string_view TokenKindName(TokenKind kind);
 bool IsQueryNameStartChar(char c);
 bool IsQueryNameChar(char c);
 
+// Stateless tokenizer: Lex(offset) is a pure function of the source, which
+// gives the parser arbitrary lookahead for context-sensitive keywords.
 class Lexer {
  public:
   explicit Lexer(std::string_view source) : src_(source) {}

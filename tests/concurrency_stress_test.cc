@@ -149,6 +149,83 @@ TEST(ConcurrencyStressTest, ConcurrentAnalyzeStringIsByteIdentical) {
   EXPECT_EQ(doc.engine()->temporary_hierarchy_count(), 0u);
   // Overlay churn never rebuilds the base index.
   EXPECT_EQ(doc.engine()->index_rebuild_count(), 1u);
+  // And never runs the overlay-id space dry.
+  EXPECT_EQ(doc.engine()->overlay_id_exhausted(), 0u);
+}
+
+// The MVCC tentpole under TSan: a writer thread commits version after
+// version (adding and removing a virtual hierarchy through the Writer
+// path) while 8 reader threads run Section-4 paper queries. Readers never
+// block on the writer and every result must equal one of the quiesced
+// per-version references — the membership check catches torn reads, TSan
+// catches unsynchronised ones.
+TEST(ConcurrencyStressTest, MutateWhileQueryingRace) {
+  auto built = workload::BuildPaperDocument();
+  ASSERT_TRUE(built.ok()) << built.status();
+  MultihierarchicalDocument doc = std::move(built).value();
+  const char* kRaceQuery = "count(/descendant::*[overlapping::gap])";
+  const std::vector<goddag::VirtualElement> damage = {
+      goddag::VirtualElement{"gap", TextRange(4, 9), {}},
+      goddag::VirtualElement{"gap", TextRange(30, 41), {}}};
+
+  // Quiesced references: without and with the hierarchy.
+  const std::string expected_without = *doc.Query(kRaceQuery);
+  const std::string expected_i1 = *doc.Query(workload::kQueryI1);
+  std::string expected_with;
+  {
+    auto writer = doc.NewWriter();
+    writer.AddVirtualHierarchy("damage", damage);
+    ASSERT_TRUE(writer.Commit().ok());
+    expected_with = *doc.Query(kRaceQuery);
+    auto writer2 = doc.NewWriter();
+    writer2.RemoveVirtualHierarchy("damage");
+    ASSERT_TRUE(writer2.Commit().ok());
+  }
+  ASSERT_NE(expected_without, expected_with);
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < StressIters(10); ++i) {
+        if (t % 2 == 0) {
+          // This query's answer is hierarchy-independent: one fixed
+          // expectation regardless of where the writer is.
+          auto out = doc.Query(workload::kQueryI1);
+          if (!out.ok() || *out != expected_i1) ++failures;
+        } else {
+          auto out = doc.Query(kRaceQuery);
+          if (!out.ok() ||
+              (*out != expected_without && *out != expected_with)) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  std::thread writer_thread([&] {
+    bool present = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto writer = doc.NewWriter();
+      if (present) {
+        writer.RemoveVirtualHierarchy("damage");
+      } else {
+        writer.AddVirtualHierarchy("damage", damage);
+      }
+      if (!writer.Commit().ok()) ++failures;
+      present = !present;
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  writer_thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Readers paid exactly one index build (version 1's lazy one); every
+  // committed version's index came prebuilt from the writer thread.
+  EXPECT_EQ(doc.engine()->index_rebuild_count(), 1u);
+  EXPECT_EQ(doc.engine()->overlay_id_exhausted(), 0u);
 }
 
 // Kept-temporaries registry churn racing readers: one thread keeps and
@@ -360,6 +437,7 @@ TEST(ConcurrencyStressTest, CorpusOpenEvictQueryKeptRace) {
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(service.stats().heavy_rejections, 0u);
+  EXPECT_EQ(service.stats().overlay_id_exhausted, 0u);
 }
 
 // Observability under churn: a threshold-0 corpus (every query lands in

@@ -213,6 +213,86 @@ TEST(CorpusServiceTest, HeavyQueriesRunWhenAdmitted) {
   EXPECT_EQ(corpus.stats().heavy_rejections, 0u);
 }
 
+TEST(CorpusServiceTest, CommitIsVisibleToLaterQueriesWithoutRebuilding) {
+  CorpusService corpus(SerialOptions(4));
+  ASSERT_TRUE(corpus.Register("a", SmallEdition(7)).ok());
+  auto before = corpus.Query("a", "count(/descendant::*[self::gap])");
+  ASSERT_TRUE(before.ok());
+
+  auto version = corpus.CommitVirtualHierarchy(
+      "a", "damage", {goddag::VirtualElement{"gap", TextRange(2, 9), {}}});
+  ASSERT_TRUE(version.ok()) << version.status();
+  EXPECT_EQ(*version, 2u);
+
+  auto after = corpus.Query("a", "count(/descendant::*[self::gap])");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(*after, *before);
+  // The commit mutated the resident document in place (MVCC version, not a
+  // rebuild) and is counted.
+  EXPECT_EQ(*corpus.BuildCount("a"), 1u);
+  EXPECT_EQ(corpus.stats().writes, 1u);
+  EXPECT_EQ(corpus.stats().write_rejections, 0u);
+
+  auto removed = corpus.RemoveVirtualHierarchy("a", "damage");
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_EQ(*removed, 3u);
+  auto restored = corpus.Query("a", "count(/descendant::*[self::gap])");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, *before);
+  EXPECT_EQ(corpus.stats().writes, 2u);
+}
+
+TEST(CorpusServiceTest, WritesAreRejectedWithBackpressureStatus) {
+  CorpusOptions options = SerialOptions(4);
+  options.max_writers_in_flight = 0;  // every write bounces
+  CorpusService corpus(options);
+  ASSERT_TRUE(corpus.Register("a", SmallEdition(1)).ok());
+  auto version = corpus.CommitVirtualHierarchy(
+      "a", "damage", {goddag::VirtualElement{"gap", TextRange(2, 9), {}}});
+  EXPECT_EQ(version.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(corpus.stats().write_rejections, 1u);
+  EXPECT_EQ(corpus.stats().writes, 0u);
+  // A rejected write never built the (cold) document.
+  EXPECT_EQ(*corpus.BuildCount("a"), 0u);
+}
+
+TEST(CorpusServiceTest, WriteErrorsSurfaceAndUnknownDocumentIsNotFound) {
+  CorpusService corpus(SerialOptions(4));
+  ASSERT_TRUE(corpus.Register("a", SmallEdition(1)).ok());
+  EXPECT_EQ(corpus
+                .CommitVirtualHierarchy(
+                    "missing", "damage",
+                    {goddag::VirtualElement{"gap", TextRange(2, 9), {}}})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(corpus.RemoveVirtualHierarchy("a", "never-added").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(corpus.stats().writes, 0u);
+}
+
+TEST(CorpusServiceTest, MvccMetricsAreExported) {
+  CorpusService corpus(SerialOptions(4));
+  ASSERT_TRUE(corpus.Register("a", SmallEdition(1)).ok());
+  ASSERT_TRUE(corpus.Query("a", kPathQuery).ok());
+  ASSERT_TRUE(corpus
+                  .CommitVirtualHierarchy(
+                      "a", "damage",
+                      {goddag::VirtualElement{"gap", TextRange(2, 9), {}}})
+                  .ok());
+  const std::string text = corpus.metrics().TextExport();
+  EXPECT_NE(text.find("mhx_corpus_writes_total 1"), std::string::npos);
+  EXPECT_NE(text.find("mhx_corpus_write_rejected_total 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("mhx_goddag_live_snapshots"), std::string::npos);
+  EXPECT_NE(text.find("mhx_engine_snapshot_pins_total"), std::string::npos);
+  EXPECT_NE(text.find("mhx_engine_overlay_id_exhausted_total 0"),
+            std::string::npos);
+  EXPECT_GT(corpus.stats().snapshot_pins, 0u);
+  EXPECT_GT(corpus.stats().live_snapshots, 0u);
+  EXPECT_EQ(corpus.stats().overlay_id_exhausted, 0u);
+}
+
 TEST(CorpusServiceTest, SharedPoolServesParallelQueriesAcrossDocuments) {
   CorpusOptions options;
   options.capacity = 4;
