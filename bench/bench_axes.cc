@@ -8,11 +8,20 @@
 // axis; the indexed ordering axes (xfollowing/xpreceding) and containment/
 // overlap axes narrow candidates by binary search, winning by a growing
 // factor as documents grow.
+//
+// The BM_Kernel_* lanes isolate the extended-axis scan kernels
+// (xpath/kernels.h) over the snapshot's packed RangeSoA: the autovec
+// scalar core vs. the runtime-dispatched SIMD path (SSE2/AVX2 on x86_64),
+// per axis, on a small and a large edition. Report-only — no pinned
+// baseline — but the large-edition SIMD lane is expected to hold ≥2x over
+// scalar; the `isa` counter label records what the dispatch resolved to.
 
 #include <benchmark/benchmark.h>
 
+#include "goddag/stats.h"
 #include "workload/generator.h"
 #include "xpath/axes.h"
+#include "xpath/kernels.h"
 
 namespace {
 
@@ -96,6 +105,73 @@ AXIS_BENCH(XFollowing, Axis::kXFollowing)
 AXIS_BENCH(XPreceding, Axis::kXPreceding)
 
 #undef AXIS_BENCH
+
+// The per-document statistics block the kernels read; built once per
+// edition size, like EditionDoc.
+const mhx::goddag::SnapshotStats* EditionStats(size_t words) {
+  static auto* cache =
+      new std::map<size_t, const mhx::goddag::SnapshotStats*>();
+  auto it = cache->find(words);
+  if (it != cache->end()) return it->second;
+  const auto* stats =
+      new mhx::goddag::SnapshotStats(&EditionDoc(words)->goddag());
+  (*cache)[words] = stats;
+  return stats;
+}
+
+void RunKernel(benchmark::State& state, Axis axis, mhx::xpath::KernelIsa isa) {
+  MultihierarchicalDocument* doc = EditionDoc(state.range(0));
+  const mhx::goddag::SnapshotStats* stats = EditionStats(state.range(0));
+  if (!stats->soa().valid) {
+    state.SkipWithError("RangeSoA unavailable");
+    return;
+  }
+  const mhx::xpath::KernelIsa resolved =
+      isa == mhx::xpath::KernelIsa::kAuto ? mhx::xpath::DispatchedKernelIsa()
+                                          : isa;
+  std::vector<NodeId> contexts = WordSample(*doc, 64);
+  const auto& kg = doc->goddag();
+  size_t results = 0;
+  std::vector<NodeId> out;
+  for (auto _ : state) {
+    for (NodeId context : contexts) {
+      out.clear();
+      if (!mhx::xpath::ScanExtendedAxis(stats->soa(), axis,
+                                        kg.node(context).range, context,
+                                        mhx::goddag::kNoNameKey, resolved,
+                                        &out)) {
+        state.SkipWithError("kernel rejected the scan");
+        return;
+      }
+      results += out.size();
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          contexts.size() * stats->soa().size());
+  state.counters["avg_result"] = static_cast<double>(results) /
+                                 (static_cast<double>(state.iterations()) *
+                                  contexts.size());
+  state.SetLabel(std::string(mhx::xpath::KernelIsaName(resolved)));
+}
+
+#define KERNEL_BENCH(name, axis)                                          \
+  void BM_Kernel_##name##_Scalar(benchmark::State& state) {               \
+    RunKernel(state, axis, mhx::xpath::KernelIsa::kScalar);               \
+  }                                                                       \
+  BENCHMARK(BM_Kernel_##name##_Scalar)->Arg(100)->Arg(1600);              \
+  void BM_Kernel_##name##_Simd(benchmark::State& state) {                 \
+    RunKernel(state, axis, mhx::xpath::KernelIsa::kAuto);                 \
+  }                                                                       \
+  BENCHMARK(BM_Kernel_##name##_Simd)->Arg(100)->Arg(1600);
+
+KERNEL_BENCH(XAncestor, Axis::kXAncestor)
+KERNEL_BENCH(XDescendant, Axis::kXDescendant)
+KERNEL_BENCH(Overlapping, Axis::kOverlapping)
+KERNEL_BENCH(XFollowing, Axis::kXFollowing)
+KERNEL_BENCH(XPreceding, Axis::kXPreceding)
+
+#undef KERNEL_BENCH
 
 void BM_StandardDescendant(benchmark::State& state) {
   // Baseline context: a standard tree axis for comparison.

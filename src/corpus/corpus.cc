@@ -10,6 +10,7 @@
 
 #include "base/status_macros.h"
 #include "goddag/snapshot.h"
+#include "xpath/kernels.h"
 #include "xquery/ast.h"
 
 namespace mhx::corpus {
@@ -177,6 +178,26 @@ void CorpusService::WireMetrics() {
       "mhx_admission_heavy_waiting",
       "Heavy queries waiting in the admission queue",
       [this] { return static_cast<int64_t>(heavy_admission_.waiting()); });
+  registry_.RegisterCounter(
+      "mhx_plan_steps_indexed_total",
+      "Planned extended-axis steps that probed the RangeIndex",
+      &engine_counters_->plan_steps_indexed);
+  registry_.RegisterCounter(
+      "mhx_plan_steps_scanned_total",
+      "Planned extended-axis steps that ran the (vectorized) table scan",
+      &engine_counters_->plan_steps_scanned);
+  registry_.RegisterCounter(
+      "mhx_plan_pushdowns_total",
+      "Name tests folded into an index probe or scan kernel",
+      &engine_counters_->plan_pushdowns);
+  registry_.RegisterCounter(
+      "mhx_plan_cache_replans_total",
+      "Step-plan builds (first plan per expr/document plus commit replans)",
+      &plans_->plan_replans_counter());
+  registry_.RegisterCounter(
+      "mhx_kernel_simd_dispatch_total",
+      "Extended-axis scans dispatched to a SIMD kernel (process-wide)",
+      [] { return xpath::simd_dispatch_count(); });
   registry_.RegisterTimer("mhx_corpus_query_latency_us",
                           "Wall time of completed Query() calls",
                           &query_latency_);

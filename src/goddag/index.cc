@@ -48,6 +48,7 @@ void RangeIndex::BuildMaxEndTree(size_t tree_node, size_t lo, size_t hi) {
 
 void RangeIndex::CollectIntersecting(size_t tree_node, size_t lo, size_t hi,
                                      const TextRange& range,
+                                     const ProbeFilter& filter,
                                      std::vector<NodeId>* out) const {
   // Prune: nothing in the segment ends after range.begin, or everything in
   // the segment begins at/after range.end (begins are sorted, so the
@@ -55,73 +56,84 @@ void RangeIndex::CollectIntersecting(size_t tree_node, size_t lo, size_t hi,
   if (max_end_[tree_node] <= range.begin) return;
   if (by_begin_[lo].range.begin >= range.end) return;
   if (hi - lo == 1) {
-    if (by_begin_[lo].range.Intersects(range)) out->push_back(by_begin_[lo].id);
+    if (by_begin_[lo].range.Intersects(range) && filter.Pass(by_begin_[lo].id)) {
+      out->push_back(by_begin_[lo].id);
+    }
     return;
   }
   size_t mid = lo + (hi - lo) / 2;
-  CollectIntersecting(2 * tree_node, lo, mid, range, out);
-  CollectIntersecting(2 * tree_node + 1, mid, hi, range, out);
+  CollectIntersecting(2 * tree_node, lo, mid, range, filter, out);
+  CollectIntersecting(2 * tree_node + 1, mid, hi, range, filter, out);
 }
 
 void RangeIndex::CollectContaining(size_t tree_node, size_t lo, size_t hi,
                                    const TextRange& range,
+                                   const ProbeFilter& filter,
                                    std::vector<NodeId>* out) const {
   // A container must begin at or before range.begin and end at or after
   // range.end.
   if (max_end_[tree_node] < range.end) return;
   if (by_begin_[lo].range.begin > range.begin) return;
   if (hi - lo == 1) {
-    if (by_begin_[lo].range.Contains(range)) out->push_back(by_begin_[lo].id);
+    if (by_begin_[lo].range.Contains(range) && filter.Pass(by_begin_[lo].id)) {
+      out->push_back(by_begin_[lo].id);
+    }
     return;
   }
   size_t mid = lo + (hi - lo) / 2;
-  CollectContaining(2 * tree_node, lo, mid, range, out);
-  CollectContaining(2 * tree_node + 1, mid, hi, range, out);
+  CollectContaining(2 * tree_node, lo, mid, range, filter, out);
+  CollectContaining(2 * tree_node + 1, mid, hi, range, filter, out);
 }
 
 void RangeIndex::CollectOverlapping(size_t tree_node, size_t lo, size_t hi,
                                     const TextRange& range,
+                                    const ProbeFilter& filter,
                                     std::vector<NodeId>* out) const {
   // Same pruning as the intersect pass; the proper-overlap refinement is
   // applied per entry.
   if (max_end_[tree_node] <= range.begin) return;
   if (by_begin_[lo].range.begin >= range.end) return;
   if (hi - lo == 1) {
-    if (OverlappingRange(by_begin_[lo].range, range)) {
+    if (OverlappingRange(by_begin_[lo].range, range) &&
+        filter.Pass(by_begin_[lo].id)) {
       out->push_back(by_begin_[lo].id);
     }
     return;
   }
   size_t mid = lo + (hi - lo) / 2;
-  CollectOverlapping(2 * tree_node, lo, mid, range, out);
-  CollectOverlapping(2 * tree_node + 1, mid, hi, range, out);
+  CollectOverlapping(2 * tree_node, lo, mid, range, filter, out);
+  CollectOverlapping(2 * tree_node + 1, mid, hi, range, filter, out);
 }
 
-std::vector<NodeId> RangeIndex::NodesIntersecting(const TextRange& range) const {
+std::vector<NodeId> RangeIndex::NodesIntersecting(
+    const TextRange& range, const ProbeFilter& filter) const {
   std::vector<NodeId> out;
   if (!by_begin_.empty() && !range.empty()) {
-    CollectIntersecting(1, 0, by_begin_.size(), range, &out);
+    CollectIntersecting(1, 0, by_begin_.size(), range, filter, &out);
   }
   return out;
 }
 
-std::vector<NodeId> RangeIndex::NodesOverlapping(const TextRange& range) const {
+std::vector<NodeId> RangeIndex::NodesOverlapping(
+    const TextRange& range, const ProbeFilter& filter) const {
   std::vector<NodeId> out;
   if (!by_begin_.empty() && !range.empty()) {
-    CollectOverlapping(1, 0, by_begin_.size(), range, &out);
+    CollectOverlapping(1, 0, by_begin_.size(), range, filter, &out);
   }
   return out;
 }
 
-std::vector<NodeId> RangeIndex::NodesContaining(const TextRange& range) const {
+std::vector<NodeId> RangeIndex::NodesContaining(
+    const TextRange& range, const ProbeFilter& filter) const {
   std::vector<NodeId> out;
   if (!by_begin_.empty()) {
-    CollectContaining(1, 0, by_begin_.size(), range, &out);
+    CollectContaining(1, 0, by_begin_.size(), range, filter, &out);
   }
   return out;
 }
 
-std::vector<NodeId> RangeIndex::NodesContainedIn(const TextRange& range) const {
+std::vector<NodeId> RangeIndex::NodesContainedIn(
+    const TextRange& range, const ProbeFilter& filter) const {
   std::vector<NodeId> out;
   // Candidates begin within [range.begin, range.end]; filter by end.
   auto first = std::lower_bound(
@@ -129,28 +141,36 @@ std::vector<NodeId> RangeIndex::NodesContainedIn(const TextRange& range) const {
       [](const Entry& e, size_t pos) { return e.range.begin < pos; });
   for (auto it = first; it != by_begin_.end() && it->range.begin <= range.end;
        ++it) {
-    if (it->range.end <= range.end) out.push_back(it->id);
+    if (it->range.end <= range.end && filter.Pass(it->id)) {
+      out.push_back(it->id);
+    }
   }
   return out;
 }
 
-std::vector<NodeId> RangeIndex::NodesBeginningAtOrAfter(size_t pos) const {
+std::vector<NodeId> RangeIndex::NodesBeginningAtOrAfter(
+    size_t pos, const ProbeFilter& filter) const {
   auto first = std::lower_bound(
       by_begin_.begin(), by_begin_.end(), pos,
       [](const Entry& e, size_t p) { return e.range.begin < p; });
   std::vector<NodeId> out;
   out.reserve(static_cast<size_t>(by_begin_.end() - first));
-  for (auto it = first; it != by_begin_.end(); ++it) out.push_back(it->id);
+  for (auto it = first; it != by_begin_.end(); ++it) {
+    if (filter.Pass(it->id)) out.push_back(it->id);
+  }
   return out;
 }
 
-std::vector<NodeId> RangeIndex::NodesEndingAtOrBefore(size_t pos) const {
+std::vector<NodeId> RangeIndex::NodesEndingAtOrBefore(
+    size_t pos, const ProbeFilter& filter) const {
   auto last = std::upper_bound(
       by_end_.begin(), by_end_.end(), pos,
       [](size_t p, const Entry& e) { return p < e.range.end; });
   std::vector<NodeId> out;
   out.reserve(static_cast<size_t>(last - by_end_.begin()));
-  for (auto it = by_end_.begin(); it != last; ++it) out.push_back(it->id);
+  for (auto it = by_end_.begin(); it != last; ++it) {
+    if (filter.Pass(it->id)) out.push_back(it->id);
+  }
   return out;
 }
 

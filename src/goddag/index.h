@@ -20,6 +20,7 @@
 #define MHX_GODDAG_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "base/text_range.h"
@@ -27,28 +28,52 @@
 
 namespace mhx::goddag {
 
+// Optional predicate pushdown applied *inside* an index probe, before
+// candidates materialise: `name_keys` points at a per-node interned-name
+// array aligned with the node table (SnapshotStats::node_name_keys) and
+// `key` is the interned element name to keep. Default-constructed = keep
+// everything. The planner builds these from a path step's name test so a
+// probe returns only name-matching nodes instead of a superset the caller
+// re-filters.
+struct ProbeFilter {
+  const uint32_t* name_keys = nullptr;
+  uint32_t key = 0;
+
+  // Whether node `id` survives the filter.
+  bool Pass(NodeId id) const {
+    return name_keys == nullptr || name_keys[id] == key;
+  }
+};
+
 class RangeIndex {
  public:
   explicit RangeIndex(const KyGoddag* goddag);
 
   // Nodes whose range properly overlaps `range` (intersects, neither
-  // contains the other) — the `overlapping` axis predicate.
-  std::vector<NodeId> NodesOverlapping(const TextRange& range) const;
+  // contains the other) — the `overlapping` axis predicate. Here and
+  // below, `filter` drops non-matching nodes inside the probe.
+  std::vector<NodeId> NodesOverlapping(const TextRange& range,
+                                       const ProbeFilter& filter = {}) const;
 
   // Nodes whose range shares at least one position with `range`.
-  std::vector<NodeId> NodesIntersecting(const TextRange& range) const;
+  std::vector<NodeId> NodesIntersecting(const TextRange& range,
+                                        const ProbeFilter& filter = {}) const;
 
   // Nodes whose range contains `range` (equal ranges included).
-  std::vector<NodeId> NodesContaining(const TextRange& range) const;
+  std::vector<NodeId> NodesContaining(const TextRange& range,
+                                      const ProbeFilter& filter = {}) const;
 
   // Nodes whose range is contained in `range` (equal ranges included).
-  std::vector<NodeId> NodesContainedIn(const TextRange& range) const;
+  std::vector<NodeId> NodesContainedIn(const TextRange& range,
+                                       const ProbeFilter& filter = {}) const;
 
   // Nodes whose range begins at or after `pos` (the xfollowing predicate).
-  std::vector<NodeId> NodesBeginningAtOrAfter(size_t pos) const;
+  std::vector<NodeId> NodesBeginningAtOrAfter(
+      size_t pos, const ProbeFilter& filter = {}) const;
 
   // Nodes whose range ends at or before `pos` (the xpreceding predicate).
-  std::vector<NodeId> NodesEndingAtOrBefore(size_t pos) const;
+  std::vector<NodeId> NodesEndingAtOrBefore(
+      size_t pos, const ProbeFilter& filter = {}) const;
 
   // Number of indexed element nodes.
   size_t size() const { return by_begin_.size(); }
@@ -64,13 +89,13 @@ class RangeIndex {
 
   void BuildMaxEndTree(size_t tree_node, size_t lo, size_t hi);
   void CollectIntersecting(size_t tree_node, size_t lo, size_t hi,
-                           const TextRange& range,
+                           const TextRange& range, const ProbeFilter& filter,
                            std::vector<NodeId>* out) const;
   void CollectContaining(size_t tree_node, size_t lo, size_t hi,
-                         const TextRange& range,
+                         const TextRange& range, const ProbeFilter& filter,
                          std::vector<NodeId>* out) const;
   void CollectOverlapping(size_t tree_node, size_t lo, size_t hi,
-                          const TextRange& range,
+                          const TextRange& range, const ProbeFilter& filter,
                           std::vector<NodeId>* out) const;
 
   std::vector<Entry> by_begin_;   // sorted by (begin asc, end asc, id)

@@ -31,7 +31,13 @@ std::shared_ptr<const DocumentSnapshot> DocumentSnapshot::Create(
   goddag->leaves();
   auto snapshot = std::shared_ptr<const DocumentSnapshot>(
       new DocumentSnapshot(std::move(goddag), version));
-  if (prebuild_index) snapshot->EnsureIndex();
+  if (prebuild_index) {
+    snapshot->EnsureIndex();
+    // The planner's statistics ride the same writer-pays discipline as the
+    // index: prebuilt before publication, so readers replanning on the new
+    // version never block on a stats build.
+    snapshot->EnsureStats();
+  }
   return snapshot;
 }
 
@@ -47,6 +53,17 @@ bool DocumentSnapshot::EnsureIndex() const {
 const RangeIndex& DocumentSnapshot::index() const {
   EnsureIndex();
   return *index_;
+}
+
+void DocumentSnapshot::EnsureStats() const {
+  std::call_once(stats_once_, [&] {
+    stats_ = std::make_unique<const SnapshotStats>(goddag_.get());
+  });
+}
+
+const SnapshotStats& DocumentSnapshot::stats() const {
+  EnsureStats();
+  return *stats_;
 }
 
 size_t DocumentSnapshot::live_count() {

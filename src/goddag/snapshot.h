@@ -41,6 +41,7 @@
 
 #include "goddag/index.h"
 #include "goddag/kygoddag.h"
+#include "goddag/stats.h"
 
 namespace mhx::goddag {
 
@@ -81,6 +82,16 @@ class DocumentSnapshot {
   // The snapshot's RangeIndex, building it on first use (see EnsureIndex).
   const RangeIndex& index() const;
 
+  // Builds the SnapshotStats if no thread has yet (thread-safe, build-once,
+  // same discipline as EnsureIndex). Stats are a pure function of the
+  // snapshot's goddag: they follow this version, never the document head,
+  // so a planner reading them during a concurrent Writer::Commit sees
+  // exactly the statistics of the version it pinned.
+  void EnsureStats() const;
+
+  // The snapshot's statistics block, building it on first use.
+  const SnapshotStats& stats() const;
+
   // Snapshots currently alive in the process (relaxed; exact once traffic
   // quiesces). Exported as the `mhx_goddag_live_snapshots` gauge.
   static size_t live_count();
@@ -93,6 +104,8 @@ class DocumentSnapshot {
   const uint64_t revision_at_publish_;
   mutable std::once_flag index_once_;
   mutable std::unique_ptr<const RangeIndex> index_;
+  mutable std::once_flag stats_once_;
+  mutable std::unique_ptr<const SnapshotStats> stats_;
 };
 
 }  // namespace mhx::goddag

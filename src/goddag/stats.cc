@@ -1,0 +1,65 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "goddag/stats.h"
+
+#include <climits>
+
+namespace mhx::goddag {
+
+namespace {
+// floor(log2(length)), with length 0 mapped to bucket 0.
+size_t LengthBucket(size_t length) {
+  size_t bucket = 0;
+  while (length > 1) {
+    length >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+}  // namespace
+
+SnapshotStats::SnapshotStats(const KyGoddag* goddag) {
+  text_size_ = goddag->base_text().size();
+  node_table_size_ = goddag->node_table_size();
+  for (HierarchyId h = 0; h < goddag->hierarchy_table_size(); ++h) {
+    if (goddag->hierarchy(h).active) ++hierarchy_count_;
+  }
+  per_hierarchy_.resize(goddag->hierarchy_table_size(), 0);
+  node_name_keys_.assign(node_table_size_, kNoNameKey);
+  length_log2_.assign(33, 0);
+  const bool pack = text_size_ < static_cast<size_t>(INT32_MAX);
+  for (NodeId id = 0; id < node_table_size_; ++id) {
+    const GNode& node = goddag->node(id);
+    if (node.kind != GNodeKind::kElement) continue;
+    ++element_count_;
+    if (node.hierarchy < per_hierarchy_.size()) {
+      ++per_hierarchy_[node.hierarchy];
+    }
+    auto [it, inserted] = name_keys_.try_emplace(
+        node.name, static_cast<uint32_t>(name_counts_.size()));
+    if (inserted) name_counts_.push_back(0);
+    ++name_counts_[it->second];
+    node_name_keys_[id] = it->second;
+    total_range_length_ += node.range.length();
+    ++length_log2_[LengthBucket(node.range.length())];
+    if (pack) {
+      soa_.begin.push_back(static_cast<uint32_t>(node.range.begin));
+      soa_.end.push_back(static_cast<uint32_t>(node.range.end));
+      soa_.name_key.push_back(it->second);
+      soa_.id.push_back(id);
+    }
+  }
+  soa_.valid = pack;
+}
+
+uint32_t SnapshotStats::name_key(std::string_view name) const {
+  auto it = name_keys_.find(std::string(name));
+  return it == name_keys_.end() ? kNoNameKey : it->second;
+}
+
+size_t SnapshotStats::name_count(std::string_view name) const {
+  const uint32_t key = name_key(name);
+  return key == kNoNameKey ? 0 : name_counts_[key];
+}
+
+}  // namespace mhx::goddag

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "xpath/kernels.h"
+
 namespace mhx::xpath {
 
 using goddag::GNode;
@@ -188,37 +190,43 @@ void AxisEvaluator::NormalizeDocumentOrder(const goddag::OverlayView* view,
 void AxisEvaluator::EvaluateExtendedNaive(const GNode& context_node,
                                           NodeId context, Axis axis,
                                           std::vector<NodeId>* out) const {
-  const TextRange& c = context_node.range;
+  EvaluateExtendedNaiveRange(context_node.range, context, axis, out);
+}
+
+void AxisEvaluator::EvaluateExtendedNaiveRange(const TextRange& context,
+                                               NodeId exclude, Axis axis,
+                                               std::vector<NodeId>* out) const {
   const size_t table = goddag_->node_table_size();
   for (NodeId id = 0; id < table; ++id) {
-    if (id == context) continue;
+    if (id == exclude) continue;
     const GNode& node = goddag_->node(id);
     if (node.kind != GNodeKind::kElement) continue;
-    if (ExtendedAxisMatches(axis, c, node.range)) out->push_back(id);
+    if (ExtendedAxisMatches(axis, context, node.range)) out->push_back(id);
   }
 }
 
 void AxisEvaluator::EvaluateExtendedIndexed(const GNode& context_node,
                                             NodeId context, Axis axis,
+                                            const goddag::ProbeFilter& filter,
                                             std::vector<NodeId>* out) const {
   const TextRange& c = context_node.range;
   const goddag::RangeIndex& idx = index();
   std::vector<NodeId> hits;
   switch (axis) {
     case Axis::kXAncestor:
-      hits = idx.NodesContaining(c);
+      hits = idx.NodesContaining(c, filter);
       break;
     case Axis::kXDescendant:
-      hits = idx.NodesContainedIn(c);
+      hits = idx.NodesContainedIn(c, filter);
       break;
     case Axis::kOverlapping:
-      hits = idx.NodesOverlapping(c);
+      hits = idx.NodesOverlapping(c, filter);
       break;
     case Axis::kXFollowing:
-      hits = idx.NodesBeginningAtOrAfter(c.end);
+      hits = idx.NodesBeginningAtOrAfter(c.end, filter);
       break;
     case Axis::kXPreceding:
-      hits = idx.NodesEndingAtOrBefore(c.begin);
+      hits = idx.NodesEndingAtOrBefore(c.begin, filter);
       break;
     default:
       return;
@@ -229,10 +237,21 @@ void AxisEvaluator::EvaluateExtendedIndexed(const GNode& context_node,
   }
 }
 
+const goddag::SnapshotStats* AxisEvaluator::StatsOrNull() const {
+  // Same validity rule as index(): the snapshot's build-once stats describe
+  // the published revision; a legacy in-place edit makes them stale, so the
+  // planned paths fall back to unassisted evaluation.
+  if (snapshot_ != nullptr &&
+      goddag_->revision() == snapshot_->goddag_revision()) {
+    return &snapshot_->stats();
+  }
+  return nullptr;
+}
+
 void AxisEvaluator::AppendOverlayMatches(const goddag::OverlayView& view,
                                          Axis axis,
                                          const TextRange& context_range,
-                                         NodeId exclude,
+                                         NodeId exclude, const NodeTest* test,
                                          std::vector<NodeId>* out) const {
   // A forked worker view holds only the overlays its own evaluation
   // created; everything else visible to it (kept hierarchies, the
@@ -245,8 +264,9 @@ void AxisEvaluator::AppendOverlayMatches(const goddag::OverlayView& view,
       for (NodeId id = overlay->elements_begin(); id < overlay->id_end();
            ++id) {
         if (id == exclude) continue;
-        if (ExtendedAxisMatches(axis, context_range,
-                                overlay->node(id).range)) {
+        const GNode& node = overlay->node(id);
+        if (test != nullptr && !test->Matches(node)) continue;
+        if (ExtendedAxisMatches(axis, context_range, node.range)) {
           out->push_back(id);
         }
       }
@@ -357,12 +377,13 @@ std::vector<NodeId> AxisEvaluator::EvaluateAxisOnlyImpl(
   if (context_node.kind == GNodeKind::kFree) return out;
   if (IsExtendedAxis(axis)) {
     if (options_.use_index) {
-      EvaluateExtendedIndexed(context_node, context, axis, &out);
+      EvaluateExtendedIndexed(context_node, context, axis, {}, &out);
     } else {
       EvaluateExtendedNaive(context_node, context, axis, &out);
     }
     if (view != nullptr) {
-      AppendOverlayMatches(*view, axis, context_node.range, context, &out);
+      AppendOverlayMatches(*view, axis, context_node.range, context,
+                           /*test=*/nullptr, &out);
     }
   } else {
     EvaluateStandard(view, context, axis, &out);
@@ -428,7 +449,91 @@ std::vector<NodeId> AxisEvaluator::EvaluateRange(
     default:
       return out;
   }
-  AppendOverlayMatches(view, axis, context, kInvalidNode, &out);
+  AppendOverlayMatches(view, axis, context, kInvalidNode, /*test=*/nullptr,
+                       &out);
+  return out;
+}
+
+bool AxisEvaluator::EvaluateExtendedPlannedBase(
+    const TextRange& context_range, NodeId exclude, Axis axis,
+    const NodeTest& test, const StepExec& exec,
+    std::vector<NodeId>* out) const {
+  const goddag::SnapshotStats* stats = StatsOrNull();
+  uint32_t key = goddag::kNoNameKey;
+  bool pushdown = false;
+  if (exec.pushdown && test.is_name() && stats != nullptr) {
+    key = stats->name_key(test.name());
+    pushdown = true;
+    if (key == goddag::kNoNameKey) {
+      // No live base element bears this name: the base half is empty by
+      // the statistics alone (overlay hits are the caller's job).
+      return true;
+    }
+  }
+  if (exec.use_index) {
+    goddag::ProbeFilter filter;
+    if (pushdown) filter = {stats->node_name_keys().data(), key};
+    // Reuse the node-context probe: a GNode stand-in carrying the range.
+    GNode probe;
+    probe.range = context_range;
+    EvaluateExtendedIndexed(probe, exclude, axis, filter, out);
+    return pushdown;
+  }
+  // Scan side: the vectorized RangeSoA kernels when the snapshot's packed
+  // layout applies, the scalar node-table walk otherwise.
+  if (stats != nullptr &&
+      ScanExtendedAxis(stats->soa(), axis, context_range, exclude,
+                       pushdown ? key : goddag::kNoNameKey, KernelIsa::kAuto,
+                       out)) {
+    return pushdown;
+  }
+  EvaluateExtendedNaiveRange(context_range, exclude, axis, out);
+  return false;
+}
+
+std::vector<NodeId> AxisEvaluator::EvaluatePlanned(
+    const goddag::OverlayView& view, NodeId context, Axis axis,
+    const NodeTest& test, const StepExec& exec) const {
+  if (!IsExtendedAxis(axis)) return Evaluate(view, context, axis, test);
+  std::vector<NodeId> out;
+  if (goddag::IsOverlayId(context)) {
+    if (view.overlay_of(context) == nullptr) return out;
+  } else if (context >= goddag_->node_table_size()) {
+    return out;
+  }
+  const GNode& context_node = view.node(context);
+  if (context_node.kind == GNodeKind::kFree) return out;
+  const bool base_filtered = EvaluateExtendedPlannedBase(
+      context_node.range, context, axis, test, exec, &out);
+  if (!base_filtered) {
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [this, &test](NodeId id) {
+                               return !test.Matches(goddag_->node(id));
+                             }),
+              out.end());
+  }
+  AppendOverlayMatches(view, axis, context_node.range, context, &test, &out);
+  // Filtering before the sort returns the same bytes as Evaluate's
+  // sort-then-filter: the comparator is a strict total order and removal
+  // is subset-stable.
+  NormalizeDocumentOrder(&view, &out);
+  return out;
+}
+
+std::vector<NodeId> AxisEvaluator::EvaluateRangePlanned(
+    const goddag::OverlayView& view, const TextRange& context, Axis axis,
+    const NodeTest& test, const StepExec& exec) const {
+  std::vector<NodeId> out;
+  const bool base_filtered = EvaluateExtendedPlannedBase(
+      context, kInvalidNode, axis, test, exec, &out);
+  if (!base_filtered) {
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [this, &test](NodeId id) {
+                               return !test.Matches(goddag_->node(id));
+                             }),
+              out.end());
+  }
+  AppendOverlayMatches(view, axis, context, kInvalidNode, &test, &out);
   return out;
 }
 

@@ -51,6 +51,7 @@
 #include "goddag/kygoddag.h"
 #include "goddag/overlay.h"
 #include "goddag/snapshot.h"
+#include "goddag/stats.h"
 
 namespace mhx::xpath {
 
@@ -112,6 +113,12 @@ class NodeTest {
 
   bool Matches(const goddag::GNode& node) const;
 
+  // True for name tests — what the planner's pushdown keys off.
+  bool is_name() const { return kind_ == Kind::kName; }
+
+  // The tested element name (empty for Any()).
+  const std::string& name() const { return name_; }
+
  private:
   enum class Kind { kAny, kName };
   NodeTest(Kind kind, std::string name)
@@ -125,7 +132,24 @@ struct AxisOptions {
   // Extended axes consult a RangeIndex when true, otherwise run the naive
   // Definition-1 scan. Standard tree axes always walk arcs. Overlay nodes
   // are scanned either way (they are never indexed).
+  //
+  // Deprecated for engine traffic: the XQuery engine now chooses per step
+  // via the cost-based planner (xquery/planner.h, QueryOptions::plan_mode)
+  // and calls EvaluatePlanned, which ignores this flag. Kept for direct
+  // AxisEvaluator users — unit tests and the axis benchmarks — that pin
+  // one strategy for a whole evaluator.
   bool use_index = true;
+};
+
+// One path step's physical execution choice, produced per step by the
+// XQuery planner (xquery/planner.h) or pinned by a forced plan mode:
+// indexed probe vs. (vectorized) full scan for the extended axes, and
+// whether a name test is pushed down into the probe/kernel so base
+// candidates are filtered before they materialise. Every combination
+// returns byte-identical node sets — the planner only moves cost.
+struct StepExec {
+  bool use_index = true;
+  bool pushdown = false;
 };
 
 class AxisEvaluator {
@@ -165,6 +189,29 @@ class AxisEvaluator {
   std::vector<goddag::NodeId> EvaluateRange(const goddag::OverlayView& view,
                                             const TextRange& context,
                                             Axis axis) const;
+
+  // Planner-driven Evaluate: the extended-axis strategy comes from `exec`
+  // instead of AxisOptions — scans run the vectorized RangeSoA kernels
+  // (xpath/kernels.h) when this evaluator is snapshot-bound and the packed
+  // layout applies, falling back to the scalar node-table scan otherwise —
+  // and exec.pushdown folds a name test into the probe/kernel as an
+  // interned-key compare, so base candidates are pre-filtered. Output is
+  // byte-identical to Evaluate(view, context, axis, test) for every exec;
+  // standard axes ignore exec and walk arcs as always.
+  std::vector<goddag::NodeId> EvaluatePlanned(const goddag::OverlayView& view,
+                                              goddag::NodeId context,
+                                              Axis axis, const NodeTest& test,
+                                              const StepExec& exec) const;
+
+  // Planner-driven EvaluateRange: same strategy/pushdown contract as
+  // EvaluatePlanned, for the engine's leaf contexts. Unlike EvaluateRange,
+  // the result is already filtered by `test` (base hits inside the
+  // probe/kernel when pushed down, overlay hits as they append), so
+  // callers skip their own re-filter. Ordering::kUnordered, like
+  // EvaluateRange. `axis` must be an extended axis.
+  std::vector<goddag::NodeId> EvaluateRangePlanned(
+      const goddag::OverlayView& view, const TextRange& context, Axis axis,
+      const NodeTest& test, const StepExec& exec) const;
 
   // The ordering guarantee Evaluate/EvaluateAxisOnly declare for `axis`:
   // always kDocOrderNoDupes — every traversal visits a node at most once
@@ -215,17 +262,35 @@ class AxisEvaluator {
   void EvaluateExtendedNaive(const goddag::GNode& context_node,
                              goddag::NodeId context, Axis axis,
                              std::vector<goddag::NodeId>* out) const;
+  // The literal Definition-1 node-table scan for a bare range; `exclude`
+  // drops the context node (kInvalidNode for leaf contexts).
+  void EvaluateExtendedNaiveRange(const TextRange& context,
+                                  goddag::NodeId exclude, Axis axis,
+                                  std::vector<goddag::NodeId>* out) const;
   void EvaluateExtendedIndexed(const goddag::GNode& context_node,
                                goddag::NodeId context, Axis axis,
+                               const goddag::ProbeFilter& filter,
                                std::vector<goddag::NodeId>* out) const;
+  // The snapshot's statistics block (kernel scan surface + pushdown keys),
+  // or null when this evaluator is not snapshot-bound or a legacy
+  // mutable_goddag() edit has invalidated the snapshot.
+  const goddag::SnapshotStats* StatsOrNull() const;
+  // The base-table half of a planned extended-axis evaluation: indexed
+  // probe or (vectorized) scan per `exec`, pushdown folded in. Returns
+  // true when the appended hits are already filtered by `test`.
+  bool EvaluateExtendedPlannedBase(const TextRange& context_range,
+                                   goddag::NodeId exclude, Axis axis,
+                                   const NodeTest& test, const StepExec& exec,
+                                   std::vector<goddag::NodeId>* out) const;
   // The overlay half of every extended-axis evaluation: a linear scan of
   // the view's overlay elements (plumbing roots excluded) against the
   // Definition-1 predicate. Walks the view's fork chain, so a worker's
   // private view scans the coordinator's overlays and the kept
-  // hierarchies as well as its own.
+  // hierarchies as well as its own. A non-null `test` filters matches as
+  // they append (the planned path, where base hits are pre-filtered).
   void AppendOverlayMatches(const goddag::OverlayView& view, Axis axis,
                             const TextRange& context_range,
-                            goddag::NodeId exclude,
+                            goddag::NodeId exclude, const NodeTest* test,
                             std::vector<goddag::NodeId>* out) const;
   void EvaluateStandard(const goddag::OverlayView* view,
                         goddag::NodeId context, Axis axis,

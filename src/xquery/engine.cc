@@ -209,8 +209,8 @@ class Evaluator {
   // overlays additionally merge into the coordinator's view at the loop
   // join, in binding order.
   Evaluator(Engine* engine, const xpath::AxisEvaluator* axes,
-            const QueryOptions* options, base::ThreadPool* pool,
-            goddag::OverlayView* view,
+            const QueryOptions* options, const QueryPlan* plan,
+            base::ThreadPool* pool, goddag::OverlayView* view,
             std::vector<std::shared_ptr<const goddag::GoddagOverlay>>* own,
             std::vector<std::pair<std::string, Sequence>> bindings = {})
       : engine_(engine),
@@ -218,6 +218,7 @@ class Evaluator {
         own_(own),
         axes_(*axes),
         options_(options),
+        plan_(plan),
         pool_(pool) {
     bindings_ = std::move(bindings);
   }
@@ -524,6 +525,7 @@ class Evaluator {
     Engine* engine = nullptr;
     const xpath::AxisEvaluator* axes = nullptr;
     const QueryOptions* options = nullptr;
+    const QueryPlan* plan = nullptr;
     base::ThreadPool* pool = nullptr;
     goddag::OverlayView* parent_view = nullptr;
     const std::vector<std::pair<std::string, Sequence>>* parent_bindings =
@@ -596,8 +598,8 @@ class Evaluator {
             view.emplace(st->parent_view);
             own.clear();
             if (!worker.has_value()) {
-              worker.emplace(st->engine, st->axes, st->options, st->pool,
-                             &*view, &own, *st->parent_bindings);
+              worker.emplace(st->engine, st->axes, st->options, st->plan,
+                             st->pool, &*view, &own, *st->parent_bindings);
             } else {
               worker->view_ = &*view;
             }
@@ -606,8 +608,9 @@ class Evaluator {
             // transitive, so neither can anything nested in it): share
             // the coordinator's view read-only instead of forking per
             // binding.
-            worker.emplace(st->engine, st->axes, st->options, st->pool,
-                           st->parent_view, &own, *st->parent_bindings);
+            worker.emplace(st->engine, st->axes, st->options, st->plan,
+                           st->pool, st->parent_view, &own,
+                           *st->parent_bindings);
           }
           worker->bindings_.emplace_back(
               st->loop->name, Sequence{std::move(st->bindings[index])});
@@ -668,6 +671,7 @@ class Evaluator {
     st->engine = engine_;
     st->axes = &axes_;
     st->options = options_;
+    st->plan = plan_;
     st->pool = pool_;
     st->parent_view = view_;
     st->parent_bindings = &bindings_;
@@ -999,7 +1003,19 @@ class Evaluator {
 
   Status ApplyPredicates(const PathStep& step, size_t offset,
                          Sequence* items) {
-    for (const auto& pred : step.predicates) {
+    // Under kAuto, run the planner's cheapest-first order when it recorded
+    // one (only for all-statically-boolean predicate lists, so the
+    // positional branch below is unreachable for a reordered step).
+    const std::vector<uint16_t>* plan_order = nullptr;
+    if (options_->plan_mode == PlanMode::kAuto && plan_ != nullptr) {
+      auto it = plan_->steps.find(&step);
+      if (it != plan_->steps.end() && !it->second.predicate_order.empty()) {
+        plan_order = &it->second.predicate_order;
+      }
+    }
+    for (size_t p = 0; p < step.predicates.size(); ++p) {
+      const auto& pred =
+          step.predicates[plan_order != nullptr ? (*plan_order)[p] : p];
       Sequence kept;
       for (size_t i = 0; i < items->size(); ++i) {
         Item& item = (*items)[i];
@@ -1034,18 +1050,24 @@ class Evaluator {
     if (item.kind == Item::Kind::kNode) {
       // One uniform read through the overlay view: base index (or arcs)
       // plus overlay scan, normalised to document order by the evaluator.
-      ids = axes_.Evaluate(*view_, item.node, step.axis, test);
+      // Extended axes run the planned strategy — indexed probe vs.
+      // vectorized scan, name test pushed into either — except under
+      // kForceSort, which keeps the legacy brute-force path verbatim as
+      // the byte-identity baseline.
+      if (xpath::IsExtendedAxis(step.axis) && !options_->force_step_sort) {
+        const xpath::StepExec exec = StepExecFor(step);
+        ids = axes_.EvaluatePlanned(*view_, item.node, step.axis, test, exec);
+        NotePlannedStep(exec, test);
+      } else {
+        ids = axes_.Evaluate(*view_, item.node, step.axis, test);
+      }
       *ordering = xpath::AxisEvaluator::ResultOrdering(step.axis);
     } else if (item.kind == Item::Kind::kLeaf) {
-      MHX_RETURN_IF_ERROR(LeafContextStep(item.range, step.axis, offset, &ids));
+      MHX_RETURN_IF_ERROR(
+          LeafContextStep(item.range, step, test, offset, &ids));
       // RangeIndex traversal (plus any overlay tail) comes back in index
       // order, not document order.
       *ordering = xpath::Ordering::kUnordered;
-      ids.erase(std::remove_if(ids.begin(), ids.end(),
-                               [&](goddag::NodeId id) {
-                                 return !test.Matches(view_->node(id));
-                               }),
-                ids.end());
     } else {
       return EvalErrorAt(offset, "path step over an atomic value");
     }
@@ -1062,14 +1084,52 @@ class Evaluator {
     return OkStatus();
   }
 
+  // Resolves the physical execution of one extended-axis step: the forced
+  // modes pin a strategy (and never push a name test down — their point is
+  // exercising one pure strategy), kAuto reads the planner's per-step
+  // annotation, defaulting to an un-pushed indexed probe for steps the
+  // plan does not cover (e.g. evaluation without a plan).
+  xpath::StepExec StepExecFor(const PathStep& step) const {
+    switch (options_->plan_mode) {
+      case PlanMode::kForceNaive:
+        return {/*use_index=*/false, /*pushdown=*/false};
+      case PlanMode::kForceIndexed:
+      case PlanMode::kForceSort:
+        return {/*use_index=*/true, /*pushdown=*/false};
+      case PlanMode::kAuto:
+        break;
+    }
+    if (plan_ != nullptr) {
+      auto it = plan_->steps.find(&step);
+      if (it != plan_->steps.end()) return it->second.exec;
+    }
+    return {/*use_index=*/true, /*pushdown=*/false};
+  }
+
+  // Counts one planned extended-axis execution by chosen strategy, plus
+  // any name-test pushdown that rode along.
+  void NotePlannedStep(const xpath::StepExec& exec,
+                       const xpath::NodeTest& test) const {
+    (exec.use_index ? engine_->counters_->plan_steps_indexed
+                    : engine_->counters_->plan_steps_scanned)
+        .Add();
+    if (exec.pushdown && test.is_name()) {
+      engine_->counters_->plan_pushdowns.Add();
+    }
+  }
+
   // Axis evaluation from a leaf context. A leaf belongs to every hierarchy,
   // so `ancestor` coincides with `xancestor` (nodes whose range contains the
   // leaf); the ordering and overlap axes reduce to range queries. A node
   // properly overlapping a leaf cannot exist (its boundary would have split
   // the leaf), so `overlapping` is always empty — computed anyway for
-  // uniformity.
-  Status LeafContextStep(const TextRange& range, xpath::Axis axis,
-                         size_t offset, std::vector<goddag::NodeId>* ids) {
+  // uniformity. Output comes back filtered by `test`: the planned path
+  // pre-filters inside the probe/kernel, the kForceSort legacy path
+  // re-filters here, so callers never re-test.
+  Status LeafContextStep(const TextRange& range, const PathStep& step,
+                         const xpath::NodeTest& test, size_t offset,
+                         std::vector<goddag::NodeId>* ids) {
+    const xpath::Axis axis = step.axis;
     xpath::Axis extended;
     switch (axis) {
       case xpath::Axis::kAncestor:
@@ -1096,7 +1156,18 @@ class Evaluator {
                                        std::string(xpath::AxisName(axis)) +
                                        " cannot start from a leaf");
     }
-    *ids = axes_.EvaluateRange(*view_, range, extended);
+    if (options_->force_step_sort) {
+      *ids = axes_.EvaluateRange(*view_, range, extended);
+      ids->erase(std::remove_if(ids->begin(), ids->end(),
+                                [&](goddag::NodeId id) {
+                                  return !test.Matches(view_->node(id));
+                                }),
+                 ids->end());
+    } else {
+      const xpath::StepExec exec = StepExecFor(step);
+      *ids = axes_.EvaluateRangePlanned(*view_, range, extended, test, exec);
+      NotePlannedStep(exec, test);
+    }
     return OkStatus();
   }
 
@@ -1463,6 +1534,10 @@ class Evaluator {
   std::vector<std::shared_ptr<const goddag::GoddagOverlay>>* own_;
   const xpath::AxisEvaluator& axes_;
   const QueryOptions* options_;
+  // The kAuto step plan for this evaluation's (expr, snapshot version) —
+  // null under the forced modes (and for plan-less callers); workers
+  // inherit the coordinator's, so every slot executes the same plan.
+  const QueryPlan* plan_;
   // Fan-out pool; null for serial evaluation. Workers keep it so nested
   // `for` loops fan out too.
   base::ThreadPool* pool_;
@@ -1516,6 +1591,11 @@ std::shared_ptr<const Engine::SnapshotAxes> Engine::PinAxes() {
   // re-materialises here, once per edit.
   axes_entry_->snapshot->goddag().leaves();
   axes_entry_->axes.index();
+  // Statistics follow the same build-once discipline as the index:
+  // writer-prebuilt snapshots arrive with them, the initial version builds
+  // them here exactly once, and afterwards the planner and the scan
+  // kernels read them lock-free.
+  axes_entry_->snapshot->EnsureStats();
   // Fold new AxisEvaluator rebuilds into the shared counter as a delta, so
   // the registry total is monotonic across engines sharing one
   // EngineCounters (index_rebuild_count() stays per-engine).
@@ -1583,14 +1663,34 @@ StatusOr<Engine::EvaluationOutput> Engine::EvaluateInternal(
   // slot sizing) on one code path with identical plans and counters.
   QueryOptions normalized = options;
   if (normalized.threads == 0) normalized.threads = 1;
+  // The deprecated force_step_sort flag and PlanMode::kForceSort are one
+  // mode: normalise both directions so every later decision reads either
+  // field and sees the same answer.
+  if (normalized.force_step_sort) {
+    normalized.plan_mode = PlanMode::kForceSort;
+  } else if (normalized.plan_mode == PlanMode::kForceSort) {
+    normalized.force_step_sort = true;
+  }
   base::ThreadPool* fan_out_pool = pool(normalized.threads);
   std::shared_ptr<const SnapshotAxes> pinned;
+  std::shared_ptr<const QueryPlan> plan;
   {
     obs::StageTimer stage(trace, "index_materialize");
     // Pin the MVCC snapshot for the whole evaluation: everything below —
     // view, axes, leaves, index — reads exactly this version, regardless
     // of writers committing successors meanwhile.
     pinned = PinAxes();
+    if (normalized.plan_mode == PlanMode::kAuto) {
+      // The step plan for this (expr, document, version); cached, so in
+      // the steady state this is one map lookup and a replan only happens
+      // on the first evaluation after a commit. The plan annotates the
+      // pinned snapshot's statistics — stats follow the snapshot, never
+      // the head, so a stale plan is impossible by construction.
+      const uint64_t version = pinned->snapshot->version();
+      plan = plans_->PlanFor(expr, document_, version, [&] {
+        return PlanQuery(expr->root(), pinned->snapshot->stats(), version);
+      });
+    }
   }
   // The evaluation's private read seam: the immutable pinned snapshot,
   // every kept temporary hierarchy, and (as they are created) the
@@ -1600,8 +1700,8 @@ StatusOr<Engine::EvaluationOutput> Engine::EvaluateInternal(
   goddag::OverlayView view(&pinned->snapshot->goddag());
   for (auto& overlay : SnapshotKept()) view.AddOverlay(std::move(overlay));
   std::vector<std::shared_ptr<const goddag::GoddagOverlay>> own;
-  Evaluator evaluator(this, &pinned->axes, &normalized, fan_out_pool, &view,
-                      &own);
+  Evaluator evaluator(this, &pinned->axes, &normalized, plan.get(),
+                      fan_out_pool, &view, &own);
   StatusOr<Evaluator::Sequence> result = [&] {
     obs::StageTimer stage(trace, "evaluate");
     return evaluator.Evaluate(expr->root());
@@ -1624,6 +1724,17 @@ StatusOr<Engine::EvaluationOutput> Engine::EvaluateInternal(
 
 StatusOr<std::string> Engine::Evaluate(std::string_view query) {
   return Evaluate(query, QueryOptions());
+}
+
+StatusOr<std::string> Engine::ExplainPlan(std::string_view query) {
+  MHX_ASSIGN_OR_RETURN(const Expr* expr, PreparedQuery(query));
+  std::shared_ptr<const SnapshotAxes> pinned = PinAxes();
+  const uint64_t version = pinned->snapshot->version();
+  std::shared_ptr<const QueryPlan> plan =
+      plans_->PlanFor(expr, document_, version, [&] {
+        return PlanQuery(expr->root(), pinned->snapshot->stats(), version);
+      });
+  return ExplainQueryPlan(expr->root(), *plan, pinned->snapshot->stats());
 }
 
 StatusOr<std::string> Engine::Evaluate(std::string_view query,

@@ -108,6 +108,7 @@
 #include "obs/trace.h"
 #include "xpath/axes.h"
 #include "xquery/plan_cache.h"
+#include "xquery/planner.h"
 
 namespace mhx {
 class MultihierarchicalDocument;
@@ -129,9 +130,16 @@ struct QueryOptions {
   // pool helpers — with work-stealing balancing skewed iteration costs
   // across them.
   unsigned threads = 1;
-  // Testing only: ignore ordering guarantees and re-sort + dedup after every
-  // path step, as the engine did before guarantees existed. Lets tests pin
-  // that the guarantee-driven merge path is byte-identical to brute force.
+  // Physical-plan selection for path steps (see PlanMode): kAuto runs the
+  // cost-based planner against the pinned snapshot's statistics; the force
+  // modes pin one strategy everywhere. Every mode returns byte-identical
+  // results — the batteries in parallel_query_test hold them to it.
+  PlanMode plan_mode = PlanMode::kAuto;
+  // Deprecated alias of plan_mode = kForceSort, kept so existing callers
+  // and tests compile unchanged: normalised on entry (true wins over
+  // whatever plan_mode says). Re-sorts + dedups after every path step, as
+  // the engine did before ordering guarantees existed — the brute-force
+  // baseline the guarantee-driven merge and the planner are compared to.
   bool force_step_sort = false;
   // When set, the evaluation records stage spans (plan lookup, index
   // materialisation, evaluation, serialisation) and — for parallel loops —
@@ -158,6 +166,14 @@ struct EngineCounters {
   // namespace was exhausted (ResourceExhausted surfaced to the caller).
   // Stays 0 in any healthy process; the stress tests assert it.
   obs::Counter overlay_id_exhausted;
+  // Planned extended-axis step executions that probed the RangeIndex /
+  // ran the (vectorized) table scan — how often the cost model picked
+  // each physical strategy (forced modes count here too).
+  obs::Counter plan_steps_indexed;
+  obs::Counter plan_steps_scanned;
+  // Name tests folded into the probe/kernel as interned-key compares
+  // instead of a post-hoc filter (kAuto only; forced modes never push).
+  obs::Counter plan_pushdowns;
 };
 
 namespace internal {
@@ -285,6 +301,13 @@ class Engine {
   // handles (which become inert). Thread-safe.
   void CleanupTemporaries();
 
+  // Renders the physical plan kAuto would run for `query` against the
+  // currently published snapshot: per-step strategy, pushdown, and cost
+  // estimates (xquery::ExplainQueryPlan). Parses and caches the query like
+  // Evaluate; returns parse errors verbatim. Thread-safety class:
+  // pinned-snapshot read, like Evaluate.
+  StatusOr<std::string> ExplainPlan(std::string_view query);
+
   // The document this engine is bound to (kept valid across document moves
   // via Rebind). Thread-safe.
   const MultihierarchicalDocument* document() const { return document_; }
@@ -335,6 +358,21 @@ class Engine {
   // overlay-id namespace could not lease a block. 0 in a healthy process.
   size_t overlay_id_exhausted() const {
     return static_cast<size_t>(counters_->overlay_id_exhausted.value());
+  }
+
+  // Planned extended-axis step executions by chosen strategy: indexed
+  // probes vs. (vectorized) scans (EngineCounters::plan_steps_*).
+  size_t plan_steps_indexed() const {
+    return static_cast<size_t>(counters_->plan_steps_indexed.value());
+  }
+  size_t plan_steps_scanned() const {
+    return static_cast<size_t>(counters_->plan_steps_scanned.value());
+  }
+
+  // Name tests the planner folded into an index probe or scan kernel
+  // (EngineCounters::plan_pushdowns).
+  size_t plan_pushdowns() const {
+    return static_cast<size_t>(counters_->plan_pushdowns.value());
   }
 
   // The counter block this engine bumps — for MetricsRegistry registration;

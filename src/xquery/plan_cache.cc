@@ -54,6 +54,27 @@ StatusOr<const regex::Regex*> PlanCache::CompileRegex(
       shard.regexes, std::string(pattern), std::move(compiled).value());
 }
 
+std::shared_ptr<const QueryPlan> PlanCache::PlanFor(
+    const Expr* expr, const void* doc_key, uint64_t version,
+    const std::function<QueryPlan()>& build) {
+  ExprPlans* plans;
+  {
+    std::lock_guard<std::mutex> lock(annotations_mu_);
+    auto& slot = annotations_[expr];
+    if (slot == nullptr) slot = std::make_unique<ExprPlans>();
+    plans = slot.get();
+  }
+  std::lock_guard<std::mutex> lock(plans->mu);
+  auto& entry = plans->by_doc[doc_key];
+  if (entry.second == nullptr || entry.first != version) {
+    // Building under the per-expr lock serialises racing replans of the
+    // same expr so each commit pays at most one planning pass per document.
+    entry = {version, std::make_shared<const QueryPlan>(build())};
+    plan_replans_.Add();
+  }
+  return entry.second;
+}
+
 size_t PlanCache::plan_count() const {
   size_t count = 0;
   for (size_t s = 0; s < shard_count_; ++s) {

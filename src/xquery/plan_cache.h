@@ -20,16 +20,20 @@
 #ifndef MHX_XQUERY_PLAN_CACHE_H_
 #define MHX_XQUERY_PLAN_CACHE_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 
 #include "base/statusor.h"
 #include "obs/metrics.h"
 #include "regex/regex.h"
 #include "xquery/parser.h"
+#include "xquery/planner.h"
 
 namespace mhx::xquery {
 
@@ -113,11 +117,40 @@ class PlanCache {
   // turn, so the count is a snapshot, exact once traffic quiesces).
   size_t plan_count() const;
 
+  // The kAuto step plan annotating cached expr `expr` for the document
+  // identified by the opaque `doc_key` (the engine passes its Document
+  // pointer — snapshot versions are per-document counters, not globally
+  // unique) at snapshot `version`. Returns the cached plan when the version
+  // matches; otherwise runs `build` under the per-expr lock — exactly one
+  // replan per (expr, document) per commit, counted by plan_replans — and
+  // caches its result. Returned plans are immutable and shared_ptr-held, so
+  // a query keeps its plan alive across a concurrent replan.
+  std::shared_ptr<const QueryPlan> PlanFor(
+      const Expr* expr, const void* doc_key, uint64_t version,
+      const std::function<QueryPlan()>& build);
+
+  // Step-plan rebuilds PlanFor has run (first plan and replans alike):
+  // under steady traffic this advances only when commits publish new
+  // snapshot versions. Counter reference for MetricsRegistry registration.
+  size_t plan_replans() const { return plan_replans_.value(); }
+  const obs::Counter& plan_replans_counter() const { return plan_replans_; }
+
  private:
   struct Shard {
     std::mutex mu;
     internal::StringCache<std::unique_ptr<Expr>> plans;
     internal::StringCache<regex::Regex> regexes;
+  };
+
+  // Per-expr step-plan annotations: for each cached Expr, the latest plan
+  // per document key. Keyed by Expr address (stable for the cache's
+  // lifetime) in a side map rather than inside CacheEntry, so the string
+  // shards stay plan-agnostic and PlanFor contention is per-expr.
+  struct ExprPlans {
+    std::mutex mu;
+    std::unordered_map<const void*,
+                       std::pair<uint64_t, std::shared_ptr<const QueryPlan>>>
+        by_doc;
   };
 
   Shard& ShardFor(std::string_view key);
@@ -128,6 +161,9 @@ class PlanCache {
   obs::Counter misses_;
   obs::Counter regex_hits_;
   obs::Counter regex_misses_;
+  obs::Counter plan_replans_;
+  std::mutex annotations_mu_;
+  std::unordered_map<const Expr*, std::unique_ptr<ExprPlans>> annotations_;
 };
 
 }  // namespace mhx::xquery

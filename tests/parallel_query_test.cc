@@ -6,7 +6,11 @@
 //  * IsParallelSafe classifies side-effecting subtrees correctly;
 //  * concurrent doc->Query() calls on one document are safe;
 //  * the guarantee-driven step merge equals brute-force sort+dedup
-//    (QueryOptions::force_step_sort) for every axis.
+//    (QueryOptions::force_step_sort) for every axis;
+//  * every plan mode (kAuto / kForceNaive / kForceIndexed) is
+//    byte-identical to the kForceSort brute force across the axis battery
+//    and the Section 4 queries, at threads {1, 4, 8} — plans move cost,
+//    never results.
 
 #include <gtest/gtest.h>
 
@@ -422,37 +426,87 @@ TEST_F(ParallelQueryTest, ConcurrentSafeAndTemporaryCreatingQueries) {
 
 // --- ordering guarantees ---------------------------------------------------
 
-// Every axis (standard, extended, and the leaf() node test), evaluated from
-// many context nodes so the cross-context merge runs: the guarantee-driven
-// path must serialise byte-identically to brute-force sort+dedup.
+// The shared axis battery: every axis (standard, extended, and the leaf()
+// node test), evaluated from many context nodes so the cross-context merge
+// runs — and so every planner strategy choice gets exercised.
+constexpr const char* kAxisBatteryQueries[] = {
+    "/descendant::w/self::w",
+    "/descendant::line/child::*",
+    "/descendant::w/parent::s",
+    "/descendant::s/descendant::w",
+    "/descendant::s/descendant-or-self::*",
+    "/descendant::w/ancestor::*",
+    "/descendant::w/ancestor-or-self::*",
+    "/descendant::w/following-sibling::w",
+    "/descendant::w/preceding-sibling::w",
+    "/descendant::w/following::w",
+    "/descendant::w/preceding::w",
+    "/descendant::w/xancestor::line",
+    "/descendant::line/xdescendant::w",
+    "/descendant::w/overlapping::line",
+    "/descendant::w/xfollowing::dmg",
+    "/descendant::w/xpreceding::res",
+    "/descendant::line/descendant::leaf()",
+    "/descendant::w/descendant::leaf()/ancestor::line",
+    "/descendant::dmg/xdescendant::w/xancestor::line",
+};
+
+// The guarantee-driven path must serialise byte-identically to brute-force
+// sort+dedup.
 TEST_F(ParallelQueryTest, GuaranteeDrivenMergeMatchesBruteForcePerAxis) {
-  const char* queries[] = {
-      "/descendant::w/self::w",
-      "/descendant::line/child::*",
-      "/descendant::w/parent::s",
-      "/descendant::s/descendant::w",
-      "/descendant::s/descendant-or-self::*",
-      "/descendant::w/ancestor::*",
-      "/descendant::w/ancestor-or-self::*",
-      "/descendant::w/following-sibling::w",
-      "/descendant::w/preceding-sibling::w",
-      "/descendant::w/following::w",
-      "/descendant::w/preceding::w",
-      "/descendant::w/xancestor::line",
-      "/descendant::line/xdescendant::w",
-      "/descendant::w/overlapping::line",
-      "/descendant::w/xfollowing::dmg",
-      "/descendant::w/xpreceding::res",
-      "/descendant::line/descendant::leaf()",
-      "/descendant::w/descendant::leaf()/ancestor::line",
-      "/descendant::dmg/xdescendant::w/xancestor::line",
-  };
   QueryOptions brute;
   brute.force_step_sort = true;
-  for (const char* query : queries) {
+  for (const char* query : kAxisBatteryQueries) {
     EXPECT_EQ(MustQuery(*edition_, query, QueryOptions()),
               MustQuery(*edition_, query, brute))
         << query;
+  }
+}
+
+// The planner's byte-identity contract: every plan mode — the cost-based
+// kAuto, both forced strategies, and the legacy brute force — produces the
+// same bytes for the whole axis battery, serial and fanned out. A plan is
+// allowed to move cost, never results.
+TEST_F(ParallelQueryTest, PlanModesByteIdenticalAcrossAxesAndThreads) {
+  QueryOptions brute;
+  brute.force_step_sort = true;
+  const PlanMode modes[] = {PlanMode::kAuto, PlanMode::kForceNaive,
+                            PlanMode::kForceIndexed};
+  for (const char* query : kAxisBatteryQueries) {
+    const std::string baseline = MustQuery(*edition_, query, brute);
+    for (PlanMode mode : modes) {
+      for (unsigned threads : {1u, 4u}) {
+        QueryOptions options;
+        options.plan_mode = mode;
+        options.threads = threads;
+        EXPECT_EQ(MustQuery(*edition_, query, options), baseline)
+            << query << "\nplan mode " << PlanModeName(mode) << " threads "
+            << threads;
+      }
+    }
+  }
+}
+
+// Same contract on the paper's Section 4 queries, across fan-out widths:
+// the planned evaluation must reproduce the published outputs exactly.
+TEST_F(ParallelQueryTest, Section4QueriesPlanModeInvariantAcrossThreads) {
+  const char* queries[] = {workload::kQueryI1, workload::kQueryI2,
+                           workload::kQueryII1, workload::kQueryIII1Intent};
+  QueryOptions brute;
+  brute.force_step_sort = true;
+  for (const char* query : queries) {
+    const std::string baseline = MustQuery(*paper_, query, brute);
+    for (PlanMode mode :
+         {PlanMode::kAuto, PlanMode::kForceNaive, PlanMode::kForceIndexed}) {
+      for (unsigned threads : {1u, 4u, 8u}) {
+        QueryOptions options;
+        options.plan_mode = mode;
+        options.threads = threads;
+        EXPECT_EQ(MustQuery(*paper_, query, options), baseline)
+            << query << "\nplan mode " << PlanModeName(mode) << " threads "
+            << threads;
+      }
+    }
   }
 }
 

@@ -9,7 +9,10 @@ Reads the exposition text from a file argument (or stdin) and checks:
   * # TYPE is one of counter/gauge/summary/histogram/untyped and is not
     repeated for a family;
   * summary families expose `_sum` and `_count` samples and quantile
-    labels parse as floats in [0, 1].
+    labels parse as floats in [0, 1];
+  * the planner/kernel families this build must export (REQUIRED_FAMILIES)
+    are all present — a wiring regression in CorpusService::WireMetrics
+    fails here instead of silently exporting less.
 
 Exit status 0 and a one-line summary on success; 1 with per-line errors
 otherwise. CI runs it over the metrics_smoke output (ci.yml).
@@ -17,6 +20,17 @@ otherwise. CI runs it over the metrics_smoke output (ci.yml).
 
 import re
 import sys
+
+# Families the corpus service is contractually expected to export; see
+# CorpusService::WireMetrics. Kept to the ones added for the step planner
+# and the SIMD kernels — the generic checks above cover everything else.
+REQUIRED_FAMILIES = (
+    "mhx_plan_steps_indexed_total",
+    "mhx_plan_steps_scanned_total",
+    "mhx_plan_pushdowns_total",
+    "mhx_plan_cache_replans_total",
+    "mhx_kernel_simd_dispatch_total",
+)
 
 METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 SAMPLE = re.compile(
@@ -134,6 +148,10 @@ def check(text):
                     errors.append(
                         "summary %s is missing its %s sample" % (name, suffix)
                     )
+
+    for name in REQUIRED_FAMILIES:
+        if name not in families:
+            errors.append("required family %s is missing" % name)
 
     return errors, len(families)
 
