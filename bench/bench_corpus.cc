@@ -27,6 +27,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -160,6 +161,18 @@ void BM_CorpusMixed(benchmark::State& state) {
   // class down to 2 concurrent analyze-string queries.
   options.max_heavy_in_flight = 2;
   options.heavy_queue_limit = kClients * 4;
+#if defined(__unix__) || defined(__APPLE__)
+  // The churning lane (capacity < editions) runs with spill on: rebuilds
+  // after eviction come back as mapped arena loads instead of XML
+  // reparses. The predicate — not a new Args row — keeps the lane names
+  // (/10/1, /6/1, /10/2) stable for tools/bench_compare.py history.
+  if (capacity < kEditions) {
+    char dir_template[] = "/tmp/mhx_bench_corpus.XXXXXX";
+    char* dir = mkdtemp(dir_template);
+    VerifyOrAbort(dir != nullptr, "mkdtemp for the spill lane");
+    options.spill_dir = dir;
+  }
+#endif
   CorpusService corpus(options);
   for (size_t i = 0; i < kEditions; ++i) {
     VerifyOrAbort(corpus.Register(EditionName(i), EditionConfigFor(i)).ok(),
@@ -234,6 +247,12 @@ void BM_CorpusMixed(benchmark::State& state) {
       lookups > 0 ? static_cast<double>(stats.plan_hits) / lookups : 0.0;
   state.counters["builds"] = static_cast<double>(stats.builds);
   state.counters["evictions"] = static_cast<double>(stats.evictions);
+  // LRU-churn cold-start split: of `builds`, how many reparsed the XML vs
+  // came back as mapped arena loads (non-zero only in the spill lane).
+  VerifyOrAbort(stats.load_fallbacks == 0, "no arena-load fallbacks");
+  state.counters["parse_builds"] =
+      static_cast<double>(stats.builds - stats.mmap_loads);
+  state.counters["mmap_loads"] = static_cast<double>(stats.mmap_loads);
   // analyze-string patterns compile once process-wide; the hit counters
   // were previously invisible outside the PlanCache itself.
   state.counters["plan_regex_hits"] =

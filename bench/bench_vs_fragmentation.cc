@@ -17,7 +17,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 #include "baseline/fragmentation.h"
+#include "goddag/persist.h"
 #include "workload/generator.h"
 #include "goddag/index.h"
 #include "xpath/axes.h"
@@ -298,6 +303,121 @@ void BM_Encode_Fragmentation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Encode_Fragmentation)->Args({400, 30})->Args({1600, 30});
+
+// --- Cold start: reparse vs mmap (goddag/persist.h) ---------------------------
+//
+// What it costs to bring an edition from "nothing resident" to
+// "query-ready snapshot with index and stats". The XML-reparse lane is
+// what every cold start cost before the arena format; the mmap lane
+// validates and adopts the same snapshot out of an on-disk arena.
+// Counters: load_us (best observed cold start; gated by
+// tools/bench_compare.py) and, on Linux, resident_kb after the lane — the
+// mapped structures are file-backed pages, not heap.
+
+long long ColdNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double ResidentKb() {
+#if defined(__linux__)
+  // /proc/self/statm field 2: resident pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long long total = 0, resident = 0;
+  const int matched = std::fscanf(f, "%lld %lld", &total, &resident);
+  std::fclose(f);
+  if (matched != 2) return 0.0;
+  return static_cast<double>(resident) * 4096.0 / 1024.0;
+#else
+  return 0.0;
+#endif
+}
+
+// The arena file for a (words, chars_per_line) pair, written once.
+const std::string& ColdStartArena(int64_t words, int64_t chars_per_line) {
+  static auto* cache = new std::map<std::pair<int64_t, int64_t>,
+                                    std::string>();
+  const auto key = std::make_pair(words, chars_per_line);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+  Setup setup = GetSetup(words, chars_per_line);
+  const char* tmp = std::getenv("TMPDIR");
+  std::string path = std::string(tmp != nullptr ? tmp : "/tmp") +
+                     "/bench_vs_frag." + std::to_string(words) + "." +
+                     std::to_string(chars_per_line) + ".mhxa";
+  auto written =
+      mhx::goddag::WriteSnapshotFile(*setup.doc->PinSnapshot(), path);
+  if (!written.ok()) std::abort();
+  return cache->emplace(key, std::move(path)).first->second;
+}
+
+void BM_ColdStart_XmlReparse(benchmark::State& state) {
+  mhx::workload::EditionConfig config;
+  config.seed = 29;
+  config.word_count = static_cast<size_t>(state.range(0));
+  config.chars_per_line = static_cast<size_t>(state.range(1));
+  config.damage_coverage = 0.12;
+  config.restoration_coverage = 0.15;
+  long long best_us = -1;
+  for (auto _ : state) {
+    const long long begin = ColdNowUs();
+    auto doc = mhx::workload::BuildEditionDocument(config);
+    if (!doc.ok()) std::abort();
+    auto snapshot = doc->PinSnapshot();
+    snapshot->index();
+    snapshot->stats();
+    const long long took = ColdNowUs() - begin;
+    if (best_us < 0 || took < best_us) best_us = took;
+    benchmark::DoNotOptimize(snapshot);
+  }
+  state.counters["load_us"] = static_cast<double>(best_us);
+  state.counters["resident_kb"] = ResidentKb();
+}
+BENCHMARK(BM_ColdStart_XmlReparse)->Args({1600, 30})->Args({6400, 30});
+
+void BM_ColdStart_MmapLoad(benchmark::State& state) {
+  const std::string& path = ColdStartArena(state.range(0), state.range(1));
+  long long best_us = -1;
+  for (auto _ : state) {
+    const long long begin = ColdNowUs();
+    auto mapped = mhx::goddag::LoadSnapshotFile(path);
+    if (!mapped.ok()) std::abort();
+    mapped->snapshot->index();
+    mapped->snapshot->stats();
+    const long long took = ColdNowUs() - begin;
+    if (best_us < 0 || took < best_us) best_us = took;
+    benchmark::DoNotOptimize(mapped->snapshot);
+  }
+  state.counters["load_us"] = static_cast<double>(best_us);
+  state.counters["resident_kb"] = ResidentKb();
+}
+BENCHMARK(BM_ColdStart_MmapLoad)->Args({1600, 30})->Args({6400, 30});
+
+void BM_ColdStart_FragmentationEncode(benchmark::State& state) {
+  // The baseline's cold start: reparse (it consumes the same XML) plus
+  // the fragmentation encode of the whole goddag.
+  mhx::workload::EditionConfig config;
+  config.seed = 29;
+  config.word_count = static_cast<size_t>(state.range(0));
+  config.chars_per_line = static_cast<size_t>(state.range(1));
+  config.damage_coverage = 0.12;
+  config.restoration_coverage = 0.15;
+  long long best_us = -1;
+  for (auto _ : state) {
+    const long long begin = ColdNowUs();
+    auto doc = mhx::workload::BuildEditionDocument(config);
+    if (!doc.ok()) std::abort();
+    auto enc = FragmentationEncoding::Encode(doc->goddag());
+    const long long took = ColdNowUs() - begin;
+    if (best_us < 0 || took < best_us) best_us = took;
+    benchmark::DoNotOptimize(enc);
+  }
+  state.counters["load_us"] = static_cast<double>(best_us);
+  state.counters["resident_kb"] = ResidentKb();
+}
+BENCHMARK(BM_ColdStart_FragmentationEncode)->Args({1600, 30});
 
 }  // namespace
 

@@ -1,0 +1,90 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+//
+// ArrayRef<T>: an immutable array that either owns its elements (a wrapped
+// std::vector, the built-in-memory path) or borrows them from storage owned
+// elsewhere (the mmap-adoption path of goddag/persist.h, where the backing
+// bytes belong to a mapped arena kept alive by the enclosing snapshot).
+// Read access is identical either way — data()/size()/operator[] and
+// pointer iterators — so consumers like the SIMD kernels and the RangeIndex
+// probes compile unchanged against both.
+//
+// Borrowing ArrayRefs do not extend the lifetime of the borrowed storage;
+// the owner of the enclosing structure is responsible for keeping it alive
+// (DocumentSnapshot holds the arena mapping for exactly this reason).
+
+#ifndef MHX_BASE_ARRAY_REF_H_
+#define MHX_BASE_ARRAY_REF_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mhx::base {
+
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+
+  // Owning: adopts the vector's storage.
+  explicit ArrayRef(std::vector<T> values)
+      : owned_(std::move(values)),
+        data_(owned_.data()),
+        size_(owned_.size()),
+        owns_(true) {}
+
+  // Borrowing: views `size` elements at `data`, owned elsewhere.
+  ArrayRef(const T* data, size_t size) : data_(data), size_(size) {}
+
+  ArrayRef(const ArrayRef& other) { *this = other; }
+  ArrayRef& operator=(const ArrayRef& other) {
+    if (this == &other) return *this;
+    owns_ = other.owns_;
+    if (owns_) {
+      owned_ = other.owned_;
+      data_ = owned_.data();
+    } else {
+      owned_.clear();
+      data_ = other.data_;
+    }
+    size_ = other.size_;
+    return *this;
+  }
+  ArrayRef(ArrayRef&& other) noexcept { *this = std::move(other); }
+  ArrayRef& operator=(ArrayRef&& other) noexcept {
+    if (this == &other) return *this;
+    owns_ = other.owns_;
+    if (owns_) {
+      owned_ = std::move(other.owned_);
+      data_ = owned_.data();
+    } else {
+      owned_.clear();
+      data_ = other.data_;
+    }
+    size_ = other.size_;
+    other.owned_.clear();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.owns_ = false;
+    return *this;
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  bool owns_ = false;
+};
+
+}  // namespace mhx::base
+
+#endif  // MHX_BASE_ARRAY_REF_H_

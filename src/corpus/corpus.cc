@@ -4,11 +4,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <functional>
 #include <optional>
 #include <utility>
 
 #include "base/status_macros.h"
+#include "goddag/persist.h"
 #include "goddag/snapshot.h"
 #include "xpath/kernels.h"
 #include "xquery/ast.h"
@@ -81,6 +83,7 @@ CorpusService::CorpusService(const CorpusOptions& options)
       slow_threshold_us_(options.slow_query_threshold_us),
       max_writers_in_flight_(options.max_writers_in_flight),
       writer_queue_limit_(options.writer_queue_limit),
+      spill_dir_(options.spill_dir),
       plans_(std::make_shared<xquery::PlanCache>(options.plan_shards)),
       pool_(options.pool_threads > 0
                 ? std::make_shared<base::ThreadPool>(options.pool_threads)
@@ -144,6 +147,18 @@ void CorpusService::WireMetrics() {
       "mhx_corpus_write_rejected_total",
       "Writes rejected by per-document write admission",
       &write_rejections_);
+  registry_.RegisterCounter(
+      "mhx_snapshots_persisted_total",
+      "Snapshot arenas spilled to disk (builds and commits)",
+      &snapshots_persisted_);
+  registry_.RegisterCounter(
+      "mhx_mmap_loads_total",
+      "Cold pins served by mapping a spilled arena (no reparse)",
+      &mmap_loads_);
+  registry_.RegisterCounter(
+      "mhx_load_fallbacks_total",
+      "Arena loads that failed and fell back to a parse build",
+      &load_fallbacks_);
   registry_.RegisterGauge(
       "mhx_goddag_live_snapshots",
       "DocumentSnapshot versions currently alive (process-wide)", [] {
@@ -207,6 +222,26 @@ CorpusService::Shard& CorpusService::ShardFor(std::string_view name) const {
   return shards_[std::hash<std::string_view>{}(name) % shard_count_];
 }
 
+namespace {
+// Spill file for a document name: the name with non-filename characters
+// replaced, plus the full name's hash so sanitised collisions ("a/b" vs
+// "a_b") still map to distinct files.
+std::string SpillPathFor(const std::string& dir, const std::string& name) {
+  std::string sanitized;
+  sanitized.reserve(name.size());
+  for (char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    sanitized.push_back(safe ? c : '_');
+  }
+  char hash[17];
+  std::snprintf(hash, sizeof(hash), "%016zx",
+                std::hash<std::string>{}(name));
+  return dir + "/" + sanitized + "." + hash + ".mhxa";
+}
+}  // namespace
+
 Status CorpusService::Register(std::string name,
                                const workload::EditionConfig& config) {
   Shard& shard = ShardFor(name);
@@ -218,6 +253,9 @@ Status CorpusService::Register(std::string name,
   auto entry = std::make_unique<Entry>();
   entry->name = name;
   entry->config = config;
+  if (!spill_dir_.empty()) {
+    entry->spill_path = SpillPathFor(spill_dir_, name);
+  }
   entry->write_admission = std::make_unique<AdmissionController>(
       max_writers_in_flight_, writer_queue_limit_);
   shard.entries.emplace(std::move(name), std::move(entry));
@@ -256,11 +294,39 @@ StatusOr<std::shared_ptr<MultihierarchicalDocument>> CorpusService::Resident(
     }
   }
   // Build outside lru_mu_ — builds are the expensive part and must not
-  // block queries against resident documents.
-  auto built = workload::BuildEditionDocument(entry->config);
-  if (!built.ok()) return built.status();
-  auto doc = std::make_shared<MultihierarchicalDocument>(
-      std::move(built).value());
+  // block queries against resident documents. With spill enabled, try the
+  // mapped arena first: adopting a spilled snapshot is O(header) validation
+  // plus page-ins, against a full XML reparse + index build.
+  std::shared_ptr<MultihierarchicalDocument> doc;
+  if (!entry->spill_path.empty()) {
+    auto mapped = goddag::LoadSnapshotFile(entry->spill_path);
+    if (mapped.ok()) {
+      doc = std::make_shared<MultihierarchicalDocument>(
+          MultihierarchicalDocument::FromSnapshot(
+              std::move(mapped->head), std::move(mapped->snapshot)));
+      mmap_loads_.Add();
+    } else if (mapped.status().code() != StatusCode::kNotFound) {
+      // Corrupt or unreadable arena (NotFound is just a first touch and
+      // stays silent): fall back to the parse build, which rewrites the
+      // spill file below.
+      load_fallbacks_.Add();
+    }
+  }
+  if (doc == nullptr) {
+    auto built = workload::BuildEditionDocument(entry->config);
+    if (!built.ok()) return built.status();
+    doc = std::make_shared<MultihierarchicalDocument>(
+        std::move(built).value());
+    if (!entry->spill_path.empty()) {
+      // Spill the fresh build so the next cold pin maps instead of parsing.
+      // Failures are non-fatal — the document serves parse-built either way
+      // — but never counted as persisted.
+      auto snapshot = doc->PinSnapshot();
+      if (goddag::WriteSnapshotFile(*snapshot, entry->spill_path).ok()) {
+        snapshots_persisted_.Add();
+      }
+    }
+  }
   MHX_RETURN_IF_ERROR(doc->ConfigureEngine(plans_, pool_, engine_counters_));
 
   std::vector<std::shared_ptr<MultihierarchicalDocument>> evicted;
@@ -379,12 +445,18 @@ StatusOr<uint64_t> CorpusService::MutateDocument(
   MHX_ASSIGN_OR_RETURN(std::shared_ptr<MultihierarchicalDocument> doc,
                        Resident(entry));
   // The pin (`doc`) keeps the instance alive through Commit even if the
-  // LRU evicts it meanwhile; the committed version then dies with the
-  // instance (see the header's durability caveat).
+  // LRU evicts it meanwhile. Without spill the committed version dies with
+  // the instance (the header's durability caveat); with spill the commit
+  // persists the new version's arena before publishing, so a post-eviction
+  // reload resumes from it.
   MultihierarchicalDocument::Writer writer = doc->NewWriter();
   configure(writer);
+  if (!entry->spill_path.empty()) {
+    writer.PersistTo(entry->spill_path);
+  }
   MHX_ASSIGN_OR_RETURN(uint64_t version, writer.Commit());
   writes_.Add();
+  if (!entry->spill_path.empty()) snapshots_persisted_.Add();
   return version;
 }
 
@@ -443,6 +515,10 @@ CorpusService::Stats CorpusService::stats() const {
       static_cast<size_t>(engine_counters_->snapshot_pins.value());
   stats.overlay_id_exhausted =
       static_cast<size_t>(engine_counters_->overlay_id_exhausted.value());
+  stats.snapshots_persisted =
+      static_cast<size_t>(snapshots_persisted_.value());
+  stats.mmap_loads = static_cast<size_t>(mmap_loads_.value());
+  stats.load_fallbacks = static_cast<size_t>(load_fallbacks_.value());
   return stats;
 }
 

@@ -40,10 +40,21 @@
 // Writes get their own per-document admission (max_writers_in_flight /
 // writer_queue_limit), separate from heavy-query admission: a burst of
 // commits backs up on its own bounded queue instead of competing with
-// analyze-string work. Caveat: a commit pins the document resident first;
-// if the LRU evicts it afterwards, a later rebuild starts from the
-// registered EditionConfig and the committed versions are gone — corpus
-// writes are serving-time annotations, not durable storage.
+// analyze-string work.
+//
+// Spill (CorpusOptions::spill_dir): when set, the service persists every
+// built document — and every committed version — as an mmap-able arena
+// file (goddag/persist.h) under that directory, and a cold pin tries the
+// arena first: page the snapshot in zero-copy instead of reparsing the
+// edition's XML. A missing arena falls back to the parse build silently
+// (first touch); a corrupt or unreadable one falls back too, counted in
+// `mhx_load_fallbacks_total`, and the fresh build overwrites it. With
+// spill enabled the old durability caveat softens: a version committed
+// through CommitVirtualHierarchy / RemoveVirtualHierarchy survives
+// eviction, because the re-admission load starts from the spilled arena
+// rather than the registered EditionConfig. Without a spill_dir the old
+// rule stands — corpus writes are serving-time annotations, and eviction
+// resets the document to its config.
 
 #ifndef MHX_CORPUS_CORPUS_H_
 #define MHX_CORPUS_CORPUS_H_
@@ -111,6 +122,11 @@ struct CorpusOptions {
   // Retained slow-query records (ring; oldest overwritten). 0 disables
   // capture even if the threshold is set.
   size_t slow_query_log_capacity = 64;
+  // Directory for persisted snapshot arenas (see the spill paragraph in
+  // the file comment). Empty disables spill entirely. The directory must
+  // exist; individual write failures are non-fatal (the document just
+  // stays parse-built).
+  std::string spill_dir;
 };
 
 // Bounded-queue admission for one class of expensive work. Acquire either
@@ -173,6 +189,9 @@ class CorpusService {
     size_t live_snapshots = 0;     // DocumentSnapshots alive process-wide
     size_t snapshot_pins = 0;      // evaluation snapshot pins, all engines
     size_t overlay_id_exhausted = 0;  // analyze-string id-space rejections
+    size_t snapshots_persisted = 0;  // arena spill files written
+    size_t mmap_loads = 0;           // cold pins served from a mapped arena
+    size_t load_fallbacks = 0;       // arena loads that failed -> parse build
   };
 
   explicit CorpusService(const CorpusOptions& options);
@@ -254,6 +273,9 @@ class CorpusService {
   struct Entry {
     std::string name;
     workload::EditionConfig config;
+    // Arena spill file for this document (sanitised name + hash under
+    // spill_dir), computed at Register; empty when spill is disabled.
+    std::string spill_path;
     std::mutex build_mu;  // serialises BuildEditionDocument for this entry
     // Per-document write admission (see CorpusOptions); created at
     // Register, so it survives eviction along with the entry.
@@ -295,6 +317,7 @@ class CorpusService {
   const uint64_t slow_threshold_us_;
   const size_t max_writers_in_flight_;
   const size_t writer_queue_limit_;
+  const std::string spill_dir_;
   std::shared_ptr<xquery::PlanCache> plans_;
   std::shared_ptr<base::ThreadPool> pool_;  // null when pool_threads == 0
   // One counter block shared by every engine the service builds, so
@@ -317,6 +340,11 @@ class CorpusService {
   // (service-wide totals; admission itself is per entry).
   obs::Counter writes_;
   obs::Counter write_rejections_;
+  // Spill-path totals (see the file comment): arenas written, cold pins
+  // served by a mapped arena, and failed loads that fell back to a parse.
+  obs::Counter snapshots_persisted_;
+  obs::Counter mmap_loads_;
+  obs::Counter load_fallbacks_;
   // Wall time of every completed Query(), traced or not, in µs.
   base::LatencyHistogram query_latency_;
   // Declared last: its external registrations point at the members above.

@@ -3,6 +3,7 @@
 #include "document.h"
 
 #include "base/status_macros.h"
+#include "goddag/persist.h"
 #include "xml/parser.h"
 
 namespace mhx {
@@ -57,6 +58,15 @@ MultihierarchicalDocument::MultihierarchicalDocument(
       snapshot_mu_(std::make_unique<std::mutex>()),
       writer_mu_(std::make_unique<std::mutex>()) {}
 
+MultihierarchicalDocument::MultihierarchicalDocument(
+    std::shared_ptr<goddag::KyGoddag> head,
+    std::shared_ptr<const goddag::DocumentSnapshot> snapshot)
+    : head_(std::move(head)),
+      current_(std::move(snapshot)),
+      engine_mu_(std::make_unique<std::mutex>()),
+      snapshot_mu_(std::make_unique<std::mutex>()),
+      writer_mu_(std::make_unique<std::mutex>()) {}
+
 std::shared_ptr<const goddag::DocumentSnapshot>
 MultihierarchicalDocument::PinSnapshot() const {
   std::lock_guard<std::mutex> lock(*snapshot_mu_);
@@ -97,6 +107,12 @@ MultihierarchicalDocument::Writer& MultihierarchicalDocument::Writer::
   op.kind = Op::Kind::kRemoveVirtual;
   op.name = std::move(hierarchy_name);
   ops_.push_back(std::move(op));
+  return *this;
+}
+
+MultihierarchicalDocument::Writer& MultihierarchicalDocument::Writer::
+    PersistTo(std::string path) {
+  persist_path_ = std::move(path);
   return *this;
 }
 
@@ -181,6 +197,11 @@ StatusOr<uint64_t> MultihierarchicalDocument::Writer::Commit() {
   // rebuild anything (`index_rebuilds` stays flat across commits).
   auto snapshot = goddag::DocumentSnapshot::Create(
       next, base->version() + 1, /*prebuild_index=*/true);
+  // Persist before the epoch swap: a failed write aborts the commit with
+  // nothing published, keeping document and spill file in agreement.
+  if (!persist_path_.empty()) {
+    MHX_RETURN_IF_ERROR(goddag::WriteSnapshotFile(*snapshot, persist_path_));
+  }
   const uint64_t version = snapshot->version();
   {
     // The entire epoch swap: two pointer assignments under the pin mutex.

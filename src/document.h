@@ -111,6 +111,13 @@ class MultihierarchicalDocument {
     // (XML-parsed) hierarchies cannot be removed.
     Writer& RemoveVirtualHierarchy(std::string hierarchy_name);
 
+    // Arranges for Commit to also serialise the new version to `path` as
+    // an mmap-able arena (goddag/persist.h), atomically (temp + rename),
+    // BEFORE the version is published: a failed write aborts the whole
+    // commit, so the document and the file never disagree about whether
+    // the version exists. An empty path (the default) persists nothing.
+    Writer& PersistTo(std::string path);
+
     // Applies the queued mutations in order to a private clone of the head
     // goddag and publishes the result as the next version, returning its
     // number. All-or-nothing: the first failing mutation aborts the whole
@@ -135,8 +142,24 @@ class MultihierarchicalDocument {
 
     MultihierarchicalDocument* doc_;
     std::vector<Op> ops_;
+    std::string persist_path_;
     bool committed_ = false;
   };
+
+  // Wraps an already-published snapshot — the mmap cold-start path: the
+  // (head, snapshot) pair comes from goddag::LoadSnapshotFile, whose
+  // snapshot owns the arena mapping and whose head owns all of its bytes.
+  // The document behaves exactly like a Build()-produced one — queries pin
+  // the adopted snapshot (index and stats pre-adopted, nothing rebuilds),
+  // and Writer::Commit clones the head and publishes successors that no
+  // longer reference the mapping. `snapshot` must wrap `head` (same
+  // goddag); single-threaded until the constructor returns, the usual
+  // CONCURRENCY.md rules afterwards.
+  static MultihierarchicalDocument FromSnapshot(
+      std::shared_ptr<goddag::KyGoddag> head,
+      std::shared_ptr<const goddag::DocumentSnapshot> snapshot) {
+    return MultihierarchicalDocument(std::move(head), std::move(snapshot));
+  }
 
   MultihierarchicalDocument(const MultihierarchicalDocument&) = delete;
   MultihierarchicalDocument& operator=(const MultihierarchicalDocument&) =
@@ -246,6 +269,9 @@ class MultihierarchicalDocument {
 
  private:
   explicit MultihierarchicalDocument(std::unique_ptr<goddag::KyGoddag> g);
+  MultihierarchicalDocument(
+      std::shared_ptr<goddag::KyGoddag> head,
+      std::shared_ptr<const goddag::DocumentSnapshot> snapshot);
 
   // KyGoddag, snapshots, and Engine live behind pointers so moving the
   // document does not invalidate &goddag() or engine() held by evaluators

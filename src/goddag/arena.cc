@@ -1,0 +1,118 @@
+// Copyright (c) mhxq authors. Licensed under the MIT license.
+
+#include "goddag/arena.h"
+
+#include <cstring>
+
+namespace mhx::goddag {
+
+uint64_t ArenaFnv1a64(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t ArenaBodyChecksum(const void* data, size_t size) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  constexpr uint64_t kOffset = 14695981039346656037ull;
+  // Distinct lane seeds so a word swapped between lanes changes the sum.
+  uint64_t lane[4] = {kOffset, kOffset ^ kPrime, kOffset + kPrime,
+                      kOffset ^ (kPrime << 1)};
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  size_t i = 0;
+  // Word loads via memcpy: alignment-safe, and the compiler lowers them to
+  // plain 8-byte reads. The four multiply chains are independent, so the
+  // loop runs at multiplier throughput, not latency.
+  for (; i + 32 <= size; i += 32) {
+    uint64_t w[4];
+    std::memcpy(w, p + i, sizeof(w));
+    lane[0] = (lane[0] ^ w[0]) * kPrime;
+    lane[1] = (lane[1] ^ w[1]) * kPrime;
+    lane[2] = (lane[2] ^ w[2]) * kPrime;
+    lane[3] = (lane[3] ^ w[3]) * kPrime;
+  }
+  // Tail: whole words round-robin, then the last partial word zero-padded.
+  size_t j = 0;
+  for (; i + 8 <= size; i += 8, ++j) {
+    uint64_t w;
+    std::memcpy(&w, p + i, sizeof(w));
+    lane[j & 3] = (lane[j & 3] ^ w) * kPrime;
+  }
+  if (i < size) {
+    uint64_t w = 0;
+    std::memcpy(&w, p + i, size - i);
+    lane[j & 3] = (lane[j & 3] ^ w) * kPrime;
+  }
+  const uint64_t total = static_cast<uint64_t>(size);
+  uint64_t hash = ArenaFnv1a64(lane, sizeof(lane));
+  return ArenaFnv1a64(&total, sizeof(total), hash);
+}
+
+uint64_t ArenaRecordSize(uint32_t kind) {
+  switch (static_cast<ArenaSection>(kind)) {
+    case ArenaSection::kStringBlob:
+    case ArenaSection::kBaseText:
+      return 1;
+    case ArenaSection::kStringTable:
+      return sizeof(ArenaStringRef);
+    case ArenaSection::kNodes:
+      return sizeof(ArenaNode);
+    case ArenaSection::kChildren:
+    case ArenaSection::kHierarchyNodes:
+    case ArenaSection::kSoaBegin:
+    case ArenaSection::kSoaEnd:
+    case ArenaSection::kSoaNameKey:
+    case ArenaSection::kSoaId:
+    case ArenaSection::kNodeNameKeys:
+    case ArenaSection::kStatsNameRefs:
+      return sizeof(uint32_t);
+    case ArenaSection::kAttrs:
+      return sizeof(ArenaAttrRef);
+    case ArenaSection::kHierarchies:
+      return sizeof(ArenaHierarchy);
+    case ArenaSection::kLeafBoundaries:
+      return sizeof(ArenaBoundary);
+    case ArenaSection::kIndexByBegin:
+    case ArenaSection::kIndexByEnd:
+      return sizeof(ArenaIndexEntry);
+    case ArenaSection::kIndexMaxEnd:
+    case ArenaSection::kStatsNameCounts:
+    case ArenaSection::kPerHierarchy:
+    case ArenaSection::kLengthHistogram:
+      return sizeof(uint64_t);
+  }
+  return 0;
+}
+
+const char* ArenaSectionName(uint32_t kind) {
+  switch (static_cast<ArenaSection>(kind)) {
+    case ArenaSection::kStringBlob:      return "string_blob";
+    case ArenaSection::kStringTable:     return "string_table";
+    case ArenaSection::kBaseText:        return "base_text";
+    case ArenaSection::kNodes:           return "nodes";
+    case ArenaSection::kChildren:        return "children";
+    case ArenaSection::kAttrs:           return "attrs";
+    case ArenaSection::kHierarchies:     return "hierarchies";
+    case ArenaSection::kHierarchyNodes:  return "hierarchy_nodes";
+    case ArenaSection::kLeafBoundaries:  return "leaf_boundaries";
+    case ArenaSection::kIndexByBegin:    return "index_by_begin";
+    case ArenaSection::kIndexByEnd:      return "index_by_end";
+    case ArenaSection::kIndexMaxEnd:     return "index_max_end";
+    case ArenaSection::kSoaBegin:        return "soa_begin";
+    case ArenaSection::kSoaEnd:          return "soa_end";
+    case ArenaSection::kSoaNameKey:      return "soa_name_key";
+    case ArenaSection::kSoaId:           return "soa_id";
+    case ArenaSection::kNodeNameKeys:    return "node_name_keys";
+    case ArenaSection::kStatsNameRefs:   return "stats_name_refs";
+    case ArenaSection::kStatsNameCounts: return "stats_name_counts";
+    case ArenaSection::kPerHierarchy:    return "per_hierarchy";
+    case ArenaSection::kLengthHistogram: return "length_histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace mhx::goddag

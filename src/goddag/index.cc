@@ -7,43 +7,49 @@
 namespace mhx::goddag {
 
 RangeIndex::RangeIndex(const KyGoddag* goddag) : revision_(goddag->revision()) {
-  by_begin_.reserve(goddag->element_count());
+  std::vector<Entry> by_begin;
+  by_begin.reserve(goddag->element_count());
   for (NodeId id = 0; id < goddag->node_table_size(); ++id) {
     const GNode& node = goddag->node(id);
     if (node.kind != GNodeKind::kElement) continue;
-    by_begin_.push_back(Entry{node.range, id});
+    by_begin.push_back(Entry{node.range, id});
   }
-  std::sort(by_begin_.begin(), by_begin_.end(),
+  std::sort(by_begin.begin(), by_begin.end(),
             [](const Entry& a, const Entry& b) {
               if (a.range.begin != b.range.begin)
                 return a.range.begin < b.range.begin;
               if (a.range.end != b.range.end) return a.range.end < b.range.end;
               return a.id < b.id;
             });
-  by_end_ = by_begin_;
-  std::sort(by_end_.begin(), by_end_.end(),
+  std::vector<Entry> by_end = by_begin;
+  std::sort(by_end.begin(), by_end.end(),
             [](const Entry& a, const Entry& b) {
               if (a.range.end != b.range.end) return a.range.end < b.range.end;
               if (a.range.begin != b.range.begin)
                 return a.range.begin < b.range.begin;
               return a.id < b.id;
             });
-  if (!by_begin_.empty()) {
-    max_end_.assign(4 * by_begin_.size(), 0);
-    BuildMaxEndTree(1, 0, by_begin_.size());
+  std::vector<uint64_t> max_end;
+  if (!by_begin.empty()) {
+    max_end.assign(4 * by_begin.size(), 0);
+    BuildMaxEndTree(by_begin.data(), 1, 0, by_begin.size(), max_end.data());
   }
+  by_begin_ = base::ArrayRef<Entry>(std::move(by_begin));
+  by_end_ = base::ArrayRef<Entry>(std::move(by_end));
+  max_end_ = base::ArrayRef<uint64_t>(std::move(max_end));
 }
 
-void RangeIndex::BuildMaxEndTree(size_t tree_node, size_t lo, size_t hi) {
+void RangeIndex::BuildMaxEndTree(const Entry* entries, size_t tree_node,
+                                 size_t lo, size_t hi, uint64_t* max_end) {
   if (hi - lo == 1) {
-    max_end_[tree_node] = by_begin_[lo].range.end;
+    max_end[tree_node] = entries[lo].range.end;
     return;
   }
   size_t mid = lo + (hi - lo) / 2;
-  BuildMaxEndTree(2 * tree_node, lo, mid);
-  BuildMaxEndTree(2 * tree_node + 1, mid, hi);
-  max_end_[tree_node] =
-      std::max(max_end_[2 * tree_node], max_end_[2 * tree_node + 1]);
+  BuildMaxEndTree(entries, 2 * tree_node, lo, mid, max_end);
+  BuildMaxEndTree(entries, 2 * tree_node + 1, mid, hi, max_end);
+  max_end[tree_node] =
+      std::max(max_end[2 * tree_node], max_end[2 * tree_node + 1]);
 }
 
 void RangeIndex::CollectIntersecting(size_t tree_node, size_t lo, size_t hi,

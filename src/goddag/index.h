@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/array_ref.h"
 #include "base/text_range.h"
 #include "goddag/kygoddag.h"
 
@@ -87,7 +88,15 @@ class RangeIndex {
     NodeId id;
   };
 
-  void BuildMaxEndTree(size_t tree_node, size_t lo, size_t hi);
+  // The mmap-adoption path (goddag/persist.cc) constructs an empty index
+  // and points the three arrays straight into the arena's prebuilt
+  // kIndexByBegin / kIndexByEnd / kIndexMaxEnd sections.
+  friend class ArenaLoader;
+  friend class SnapshotWriter;
+  RangeIndex() = default;
+
+  static void BuildMaxEndTree(const Entry* entries, size_t tree_node,
+                              size_t lo, size_t hi, uint64_t* max_end);
   void CollectIntersecting(size_t tree_node, size_t lo, size_t hi,
                            const TextRange& range, const ProbeFilter& filter,
                            std::vector<NodeId>* out) const;
@@ -98,9 +107,11 @@ class RangeIndex {
                           const TextRange& range, const ProbeFilter& filter,
                           std::vector<NodeId>* out) const;
 
-  std::vector<Entry> by_begin_;   // sorted by (begin asc, end asc, id)
-  std::vector<Entry> by_end_;     // sorted by (end asc, begin asc, id)
-  std::vector<size_t> max_end_;   // segment tree over by_begin_
+  // ArrayRefs so the build path owns the arrays while the mmap path borrows
+  // them out of the arena (base/array_ref.h).
+  base::ArrayRef<Entry> by_begin_;    // sorted by (begin asc, end asc, id)
+  base::ArrayRef<Entry> by_end_;      // sorted by (end asc, begin asc, id)
+  base::ArrayRef<uint64_t> max_end_;  // segment tree over by_begin_
   uint64_t revision_ = 0;
 };
 

@@ -238,7 +238,7 @@ void KyGoddag::NoteElementRemoved(const TextRange& range) {
 
 void KyGoddag::NoteBoundaryAdded(size_t pos) {
   if (base_text_->empty()) return;  // the partition is empty either way
-  if (!incremental_leaves_ || leaves_dirty_) {
+  if (!incremental_leaves_ || leaves_dirty_ || boundary_refs_deferred_) {
     leaves_dirty_ = true;
     return;
   }
@@ -251,7 +251,7 @@ void KyGoddag::NoteBoundaryAdded(size_t pos) {
 
 void KyGoddag::NoteBoundaryRemoved(size_t pos) {
   if (base_text_->empty()) return;
-  if (!incremental_leaves_ || leaves_dirty_) {
+  if (!incremental_leaves_ || leaves_dirty_ || boundary_refs_deferred_) {
     leaves_dirty_ = true;
     return;
   }
@@ -268,6 +268,7 @@ void KyGoddag::NoteBoundaryRemoved(size_t pos) {
 
 void KyGoddag::RebuildLeaves() const {
   boundary_refs_.clear();
+  boundary_refs_deferred_ = false;
   const size_t n = base_text_->size();
   if (n == 0) {
     leaves_.Clear();

@@ -165,6 +165,10 @@ class KyGoddag {
  private:
   KyGoddag(const KyGoddag&) = default;  // via Clone() only
 
+  // The arena loader (goddag/persist.cc) materialises a goddag field by
+  // field from a validated on-disk snapshot instead of replaying the build.
+  friend class ArenaLoader;
+
   NodeId AllocateNode();
   void FreeNode(NodeId id);
   NodeId ConvertXmlElement(const xml::Element& element, HierarchyId hierarchy,
@@ -188,13 +192,20 @@ class KyGoddag {
   bool incremental_leaves_ = true;
   // Leaf partition cache. `boundary_refs_` maps a boundary offset to the
   // number of live element endpoints at that offset (offsets 0 and n carry a
-  // permanent sentinel ref). It is authoritative only while `!leaves_dirty_`;
-  // a full rebuild reconstructs it from the node table. The partition itself
-  // is tiered (goddag/leaves.h) so incremental splices are cheap; leaves()
-  // reads its cached flat view.
+  // permanent sentinel ref). It is authoritative only while `!leaves_dirty_`
+  // and `!boundary_refs_deferred_`; a full rebuild reconstructs it from the
+  // node table. The partition itself is tiered (goddag/leaves.h) so
+  // incremental splices are cheap; leaves() reads its cached flat view.
+  //
+  // The arena loader sets `boundary_refs_deferred_`: it adopts the partition
+  // straight from the file but skips the O(boundaries) map build, since a
+  // published snapshot's goddag never splices. The first boundary change on
+  // such a goddag (a writer's private clone) falls back to one full rebuild,
+  // after which maintenance is incremental again.
   mutable TieredLeafPartition leaves_;
   mutable std::map<size_t, uint32_t> boundary_refs_;
   mutable bool leaves_dirty_ = true;
+  mutable bool boundary_refs_deferred_ = false;
 };
 
 }  // namespace mhx::goddag

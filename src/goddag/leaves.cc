@@ -40,6 +40,19 @@ void TieredLeafPartition::AssignFromBoundaries(
   flat_dirty_ = true;
 }
 
+void TieredLeafPartition::AssignFlat(std::vector<Leaf> flat) {
+  Clear();
+  size_ = flat.size();
+  chunks_.reserve((flat.size() + kTargetChunkCells - 1) / kTargetChunkCells);
+  for (size_t i = 0; i < flat.size(); i += kTargetChunkCells) {
+    const size_t end = std::min(i + kTargetChunkCells, flat.size());
+    chunks_.emplace_back(flat.begin() + i, flat.begin() + end);
+    chunk_ends_.push_back(chunks_.back().back().range.end);
+  }
+  flat_ = std::move(flat);
+  flat_dirty_ = false;
+}
+
 void TieredLeafPartition::InsertBoundary(size_t pos) {
   // The chunk containing `pos` is the first whose last end exceeds it (`pos`
   // is strictly inside a leaf, so it can never equal a chunk end).

@@ -46,6 +46,12 @@ class TieredLeafPartition {
   // text and an empty partition.
   void AssignFromBoundaries(const std::map<size_t, uint32_t>& boundary_refs);
 
+  // Adopts an already-flat, text-ordered, gap-free partition wholesale: the
+  // chunks are carved out of `flat` and the flat view itself is cached, so
+  // no per-boundary work happens. The arena loader uses this to stand the
+  // partition up straight from validated on-disk boundaries.
+  void AssignFlat(std::vector<Leaf> flat);
+
   // Splits the leaf strictly containing `pos` in two at `pos`. Precondition
   // (guaranteed by the caller's refcount map): `pos` is strictly inside an
   // existing leaf — never 0, the text size, or an existing boundary.

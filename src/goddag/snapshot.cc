@@ -41,6 +41,24 @@ std::shared_ptr<const DocumentSnapshot> DocumentSnapshot::Create(
   return snapshot;
 }
 
+std::shared_ptr<const DocumentSnapshot> DocumentSnapshot::Adopt(
+    std::shared_ptr<const KyGoddag> goddag, uint64_t version,
+    std::unique_ptr<const RangeIndex> index,
+    std::unique_ptr<const SnapshotStats> stats,
+    std::shared_ptr<const void> keepalive) {
+  goddag->leaves();
+  auto snapshot =
+      std::shared_ptr<DocumentSnapshot>(new DocumentSnapshot(std::move(goddag), version));
+  snapshot->index_ = std::move(index);
+  snapshot->stats_ = std::move(stats);
+  snapshot->keepalive_ = std::move(keepalive);
+  // Burn both once-flags so EnsureIndex()/EnsureStats() are cheap no-ops
+  // that report "not built here" — adopted snapshots never rebuild.
+  std::call_once(snapshot->index_once_, [] {});
+  std::call_once(snapshot->stats_once_, [] {});
+  return snapshot;
+}
+
 bool DocumentSnapshot::EnsureIndex() const {
   bool built = false;
   std::call_once(index_once_, [&] {

@@ -55,6 +55,19 @@ class DocumentSnapshot {
       std::shared_ptr<const KyGoddag> goddag, uint64_t version,
       bool prebuild_index);
 
+  // Publishes a snapshot whose index and stats were materialised elsewhere
+  // — the mmap-adoption path of goddag/persist.h, where both borrow arrays
+  // straight out of an on-disk arena. `keepalive` is retained for the
+  // snapshot's lifetime and keeps that backing storage (the mapping or the
+  // loaded buffer) valid; EnsureIndex()/EnsureStats() become no-ops that
+  // never rebuild, so `index_rebuilds` stays flat for mapped loads exactly
+  // as it does for writer-prebuilt commits. `goddag` must be quiesced.
+  static std::shared_ptr<const DocumentSnapshot> Adopt(
+      std::shared_ptr<const KyGoddag> goddag, uint64_t version,
+      std::unique_ptr<const RangeIndex> index,
+      std::unique_ptr<const SnapshotStats> stats,
+      std::shared_ptr<const void> keepalive);
+
   ~DocumentSnapshot();
 
   DocumentSnapshot(const DocumentSnapshot&) = delete;
@@ -106,6 +119,12 @@ class DocumentSnapshot {
   mutable std::unique_ptr<const RangeIndex> index_;
   mutable std::once_flag stats_once_;
   mutable std::unique_ptr<const SnapshotStats> stats_;
+  // Backing storage for adopted (mmap-loaded) snapshots; null otherwise.
+  // Releasing a borrowing ArrayRef never touches the borrowed bytes, so
+  // teardown order relative to index_/stats_ is immaterial — the mapping
+  // just must live while any accessor can still run, which pinning the
+  // snapshot guarantees.
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace mhx::goddag

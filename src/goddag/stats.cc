@@ -25,7 +25,9 @@ SnapshotStats::SnapshotStats(const KyGoddag* goddag) {
     if (goddag->hierarchy(h).active) ++hierarchy_count_;
   }
   per_hierarchy_.resize(goddag->hierarchy_table_size(), 0);
-  node_name_keys_.assign(node_table_size_, kNoNameKey);
+  std::vector<uint32_t> node_name_keys(node_table_size_, kNoNameKey);
+  std::vector<uint32_t> soa_begin, soa_end, soa_name_key;
+  std::vector<NodeId> soa_id;
   length_log2_.assign(33, 0);
   const bool pack = text_size_ < static_cast<size_t>(INT32_MAX);
   for (NodeId id = 0; id < node_table_size_; ++id) {
@@ -39,16 +41,21 @@ SnapshotStats::SnapshotStats(const KyGoddag* goddag) {
         node.name, static_cast<uint32_t>(name_counts_.size()));
     if (inserted) name_counts_.push_back(0);
     ++name_counts_[it->second];
-    node_name_keys_[id] = it->second;
+    node_name_keys[id] = it->second;
     total_range_length_ += node.range.length();
     ++length_log2_[LengthBucket(node.range.length())];
     if (pack) {
-      soa_.begin.push_back(static_cast<uint32_t>(node.range.begin));
-      soa_.end.push_back(static_cast<uint32_t>(node.range.end));
-      soa_.name_key.push_back(it->second);
-      soa_.id.push_back(id);
+      soa_begin.push_back(static_cast<uint32_t>(node.range.begin));
+      soa_end.push_back(static_cast<uint32_t>(node.range.end));
+      soa_name_key.push_back(it->second);
+      soa_id.push_back(id);
     }
   }
+  node_name_keys_ = base::ArrayRef<uint32_t>(std::move(node_name_keys));
+  soa_.begin = base::ArrayRef<uint32_t>(std::move(soa_begin));
+  soa_.end = base::ArrayRef<uint32_t>(std::move(soa_end));
+  soa_.name_key = base::ArrayRef<uint32_t>(std::move(soa_name_key));
+  soa_.id = base::ArrayRef<NodeId>(std::move(soa_id));
   soa_.valid = pack;
 }
 

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/array_ref.h"
 #include "goddag/kygoddag.h"
 
 namespace mhx::goddag {
@@ -38,17 +39,19 @@ namespace mhx::goddag {
 // for names the snapshot does not contain. Never equal to any interned key.
 inline constexpr uint32_t kNoNameKey = 0xffffffffu;
 
-// Flat structure-of-arrays copy of every live element's range, in NodeId
+// Flat structure-of-arrays view of every live element's range, in NodeId
 // order — the kernels' scan surface. All four arrays share one length.
 // Built only when the base text fits int32 (valid == true): the explicit
 // SIMD paths compare begin/end as signed 32-bit lanes, which is exact
 // precisely when every offset < INT32_MAX. Documents beyond 2 GiB of base
-// text fall back to the scalar GNode scan.
+// text fall back to the scalar GNode scan. The arrays are ArrayRefs: the
+// build path owns them, the mmap-adoption path (goddag/persist.h) borrows
+// them straight out of the arena's SoA sections.
 struct RangeSoA {
-  std::vector<uint32_t> begin;     // range.begin per live element
-  std::vector<uint32_t> end;       // range.end per live element
-  std::vector<uint32_t> name_key;  // interned element name per entry
-  std::vector<NodeId> id;          // node-table id per entry
+  base::ArrayRef<uint32_t> begin;     // range.begin per live element
+  base::ArrayRef<uint32_t> end;       // range.end per live element
+  base::ArrayRef<uint32_t> name_key;  // interned element name per entry
+  base::ArrayRef<NodeId> id;          // node-table id per entry
   bool valid = false;
 
   // Number of packed elements (0 when !valid).
@@ -93,7 +96,7 @@ class SnapshotStats {
   // Per-node interned name keys, aligned with the node table: entry id is
   // kNoNameKey for non-element slots. The index/kernel pushdown filter
   // indexes this with candidate NodeIds.
-  const std::vector<uint32_t>& node_name_keys() const {
+  const base::ArrayRef<uint32_t>& node_name_keys() const {
     return node_name_keys_;
   }
 
@@ -112,6 +115,13 @@ class SnapshotStats {
   const RangeSoA& soa() const { return soa_; }
 
  private:
+  // The mmap-adoption path (goddag/persist.cc) constructs an empty block
+  // and fills it from the arena's stats sections, borrowing the two large
+  // arrays (node_name_keys_, soa_) in place.
+  friend class ArenaLoader;
+  friend class SnapshotWriter;
+  SnapshotStats() = default;
+
   size_t element_count_ = 0;
   size_t text_size_ = 0;
   size_t node_table_size_ = 0;
@@ -120,7 +130,7 @@ class SnapshotStats {
   std::vector<size_t> per_hierarchy_;
   std::unordered_map<std::string, uint32_t> name_keys_;
   std::vector<size_t> name_counts_;  // indexed by interned key
-  std::vector<uint32_t> node_name_keys_;
+  base::ArrayRef<uint32_t> node_name_keys_;
   std::vector<size_t> length_log2_;
   RangeSoA soa_;
 };

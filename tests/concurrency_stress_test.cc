@@ -440,6 +440,85 @@ TEST(ConcurrencyStressTest, CorpusOpenEvictQueryKeptRace) {
   EXPECT_EQ(service.stats().overlay_id_exhausted, 0u);
 }
 
+#if defined(__unix__) || defined(__APPLE__)
+// Mapped-snapshot lifetime under MVCC churn: a capacity-1 corpus with an
+// arena spill directory, so every LRU miss adopts an mmap-backed snapshot
+// and every alternation evicts one. A pin thread holds pinned (typically
+// mapped) documents across evictions and keeps querying them — the mapping
+// must stay alive and byte-identical for exactly as long as the pin does,
+// while churn threads destroy and reload documents underneath. The TSan CI
+// lane re-runs this standalone with MHX_STRESS_ITERS bumped.
+TEST(ConcurrencyStressTest, EvictionVsPinnedMappedSnapshotRace) {
+  char dir_template[] = "/tmp/mhx_stress_spill.XXXXXX";
+  char* dir = mkdtemp(dir_template);
+  ASSERT_NE(dir, nullptr);
+  corpus::CorpusOptions options;
+  options.capacity = 1;  // every alternation evicts
+  options.pool_threads = 2;
+  options.spill_dir = dir;
+  corpus::CorpusService service(options);
+
+  constexpr int kDocs = 3;
+  const char* kQuery = "/descendant::line";
+  std::vector<std::string> expected(kDocs);
+  for (int d = 0; d < kDocs; ++d) {
+    workload::EditionConfig config;
+    config.seed = 81 + d;
+    config.word_count = 60;
+    config.damage_coverage = 0.12;
+    config.restoration_coverage = 0.15;
+    ASSERT_TRUE(service.Register("doc" + std::to_string(d), config).ok());
+    auto direct = workload::BuildEditionDocument(config);
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    auto reference = direct->Query(kQuery);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    expected[d] = *reference;
+  }
+  // Warm every document once so its spill arena exists: all later misses
+  // come back as mapped snapshots, which is the lifetime under test.
+  for (int d = 0; d < kDocs; ++d) {
+    auto out = service.Query("doc" + std::to_string(d), kQuery);
+    ASSERT_TRUE(out.ok()) << out.status();
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  // Churn threads rotate documents through the capacity-1 LRU, so mapped
+  // snapshots are adopted and evicted continuously.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < StressIters(10); ++i) {
+        const int d = (i + t) % kDocs;
+        auto out = service.Query("doc" + std::to_string(d), kQuery);
+        if (!out.ok() || *out != expected[d]) ++failures;
+      }
+    });
+  }
+  // Pin thread: queries a pinned document repeatedly while the churn above
+  // evicts it — the pin (and with it the arena mapping) must keep every
+  // answer byte-identical until it drops.
+  threads.emplace_back([&] {
+    for (int i = 0; i < StressIters(6); ++i) {
+      const int d = i % kDocs;
+      auto pinned = service.Pin("doc" + std::to_string(d));
+      if (!pinned.ok()) {
+        ++failures;
+        continue;
+      }
+      for (int q = 0; q < 3; ++q) {
+        auto out = (*pinned)->Query(kQuery);
+        if (!out.ok() || *out != expected[d]) ++failures;
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(service.stats().mmap_loads, 0u);
+  EXPECT_EQ(service.stats().load_fallbacks, 0u);
+}
+#endif  // defined(__unix__) || defined(__APPLE__)
+
 // Observability under churn: a threshold-0 corpus (every query lands in
 // the slow-query ring) serves traced fan-out queries and untraced queries
 // while one thread dumps the slow log and exports metrics in a loop and

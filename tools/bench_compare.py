@@ -40,7 +40,7 @@ import sys
 
 # User counters gated like wall time, with their "worse" direction:
 # +1 regresses when the value rises, -1 when it falls.
-GATED_COUNTERS = {"p95_us": +1, "qps": -1}
+GATED_COUNTERS = {"p95_us": +1, "qps": -1, "load_us": +1}
 
 # Standard google-benchmark JSON keys that are not user counters.
 _RESERVED_KEYS = frozenset([

@@ -132,6 +132,18 @@ def test_compare_gates_p95_and_qps_direction_aware():
     assert not regressions, regressions
 
 
+def test_compare_gates_load_us_like_wall_time():
+    baseline = {"BM_ColdStart": (100.0, "ns", {"load_us": 150.0})}
+    # Cold-start load time up 2x: gated, higher-is-worse.
+    candidate = {"BM_ColdStart": (100.0, "ns", {"load_us": 300.0})}
+    _, regressions = compare(baseline, candidate, threshold=0.20)
+    assert [name for name, _ in regressions] == \
+        ["BM_ColdStart [load_us]"], regressions
+    faster = {"BM_ColdStart": (100.0, "ns", {"load_us": 50.0})}
+    _, regressions = compare(baseline, faster, threshold=0.20)
+    assert not regressions, regressions
+
+
 def test_compare_reports_ungated_counters_without_failing():
     baseline = {"BM_A": (100.0, "ns",
                          {"plan_hit_rate": 0.99, "evictions": 0.0,

@@ -36,6 +36,7 @@ CONTRACT_HEADERS = {
     "src/goddag/overlay.h",
     "src/xquery/engine.h",
     "src/corpus/corpus.h",
+    "src/goddag/persist.h",
 }
 
 TYPE_DEF_RE = re.compile(

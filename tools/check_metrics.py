@@ -22,14 +22,18 @@ import re
 import sys
 
 # Families the corpus service is contractually expected to export; see
-# CorpusService::WireMetrics. Kept to the ones added for the step planner
-# and the SIMD kernels — the generic checks above cover everything else.
+# CorpusService::WireMetrics. Kept to the ones added for the step planner,
+# the SIMD kernels, and the arena spill path — the generic checks above
+# cover everything else.
 REQUIRED_FAMILIES = (
     "mhx_plan_steps_indexed_total",
     "mhx_plan_steps_scanned_total",
     "mhx_plan_pushdowns_total",
     "mhx_plan_cache_replans_total",
     "mhx_kernel_simd_dispatch_total",
+    "mhx_snapshots_persisted_total",
+    "mhx_mmap_loads_total",
+    "mhx_load_fallbacks_total",
 )
 
 METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
